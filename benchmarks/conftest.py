@@ -1,0 +1,27 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's evaluation artifacts (a
+table or a figure), prints the regenerated rows next to the paper's
+values, and asserts the *shape* claims — orderings, ratios, bands — that
+the paper's text makes.  Absolute wall-clock numbers reported by
+pytest-benchmark measure the simulator, not the system under test.
+
+Set ``REPRO_FULL=1`` to run the full parameter sweeps (the exact client
+counts of the paper); the default is a reduced sweep that keeps the suite
+in the minutes range.
+"""
+
+import os
+
+import pytest
+
+
+def full_sweep() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture
+def sweep_clients():
+    if full_sweep():
+        return (1, 2, 4, 8, 16, 32, 64)
+    return (1, 8, 64)

@@ -1,0 +1,102 @@
+"""Benchmark: ablations of the design choices.
+
+Not figures from the paper, but quantitative checks of its analysis:
+
+* section 4.2's "each additional domain adds, on average, a 25 %
+  performance penalty" — swept directly by grouping modules into 1..7
+  protection domains;
+* section 4.2's expectation that the planned PAL-code fixes would cut
+  per-domain overhead "by more than a factor of two" — swept by halving
+  and quartering the crossing cost;
+* section 4.4.1's core argument that dropping floods at *demux time* is
+  what makes the SYN defence cheap — compared against a late
+  (passive-path) drop.
+"""
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_crossing_cost_sweep,
+    run_domain_sweep,
+    run_early_drop_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def domain_sweep():
+    return run_domain_sweep(domain_counts=(1, 2, 4, 7), clients=48,
+                            warmup_s=0.5, measure_s=1.0)
+
+
+@pytest.fixture(scope="module")
+def crossing_sweep():
+    return run_crossing_cost_sweep(clients=48, warmup_s=0.5, measure_s=1.0)
+
+
+@pytest.fixture(scope="module")
+def early_drop():
+    return run_early_drop_ablation(measure_s=1.5)
+
+
+def test_domain_sweep_regenerate(benchmark, domain_sweep):
+    text = benchmark.pedantic(domain_sweep.format, rounds=1)
+    print()
+    print(text)
+
+
+def test_per_domain_penalty_near_25_percent(benchmark, domain_sweep):
+    def check():
+        penalty = domain_sweep.per_domain_penalty()
+        assert 0.10 <= penalty <= 0.45, penalty
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_throughput_monotone_in_domain_count(benchmark, domain_sweep):
+    def check():
+        rates = domain_sweep.conn_per_second
+        assert all(a >= b for a, b in zip(rates, rates[1:])), rates
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_grouping_tcp_ip_eth_stays_under_2x(benchmark, domain_sweep):
+    def check():
+        # Two domains (net stack together, storage together) vs one:
+        # "we expect the slowdown to be much less than a factor of two"
+        # is about modest groupings like this.
+        one = domain_sweep.conn_per_second[0]
+        two = domain_sweep.conn_per_second[1]
+        assert one / two < 2.0, (one, two)
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_crossing_cost_sweep_regenerate(benchmark, crossing_sweep):
+    text = benchmark.pedantic(crossing_sweep.format, rounds=1)
+    print()
+    print(text)
+
+
+def test_halving_crossing_cost_helps_substantially(benchmark, crossing_sweep):
+    def check():
+        full, half, quarter = crossing_sweep.conn_per_second
+        assert half > 1.3 * full, (full, half)
+        assert quarter > half
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_early_drop_regenerate(benchmark, early_drop):
+    text = benchmark.pedantic(early_drop.format, rounds=1)
+    print()
+    print(text)
+
+
+def test_early_drop_beats_late_drop(benchmark, early_drop):
+    def check():
+        assert early_drop.early_conn_per_second \
+            > early_drop.late_conn_per_second
+        assert early_drop.early_drops > 0
+
+    benchmark.pedantic(check, rounds=1)

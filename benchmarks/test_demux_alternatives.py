@@ -1,0 +1,70 @@
+"""Benchmark: trusting demux vs the PathFinder-style pattern demux.
+
+The paper argues pattern-based demultiplexers "would be more appropriate
+since they have more liberal trust assumptions" (section 2.3) — the
+question this bench answers is what that buys and costs *here*:
+
+* equivalence — both classifiers route the same traffic to the same paths;
+* cost — modules consulted per packet under each scheme;
+* throughput — the web server's end-to-end rate is unchanged by the swap.
+"""
+
+import pytest
+
+from repro.core.patterndemux import (
+    PatternDemultiplexer,
+    install_webserver_patterns,
+)
+from repro.experiments.harness import Testbed
+
+
+def run_with_demux(pattern: bool, clients: int = 32):
+    bed = Testbed.escort()
+    if pattern:
+        demux = PatternDemultiplexer(bed.server.kernel)
+        install_webserver_patterns(demux, bed.server)
+        bed.server.eth.demultiplexer = demux
+    bed.add_clients(clients, document="/doc-1")
+    result = bed.run(warmup_s=0.4, measure_s=1.0)
+    return bed, result
+
+
+@pytest.fixture(scope="module")
+def both():
+    return {name: run_with_demux(name == "pattern")
+            for name in ("trusting", "pattern")}
+
+
+def test_demux_comparison_regenerate(benchmark, both):
+    def report():
+        lines = ["Demux alternatives (Accounting, 32 clients, 1 B docs)"]
+        for name, (bed, result) in both.items():
+            lines.append(f"  {name:10s} {result.connections_per_second:6.0f} "
+                         f"conn/s, {result.client_failures} failures")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(report, rounds=1)
+    print()
+    print(text)
+
+
+def test_same_traffic_same_service(benchmark, both):
+    def check():
+        trusting = both["trusting"][1].connections_per_second
+        pattern = both["pattern"][1].connections_per_second
+        assert pattern == pytest.approx(trusting, rel=0.10)
+        for _, result in both.values():
+            assert result.client_failures == 0
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_pattern_demux_served_the_whole_run(benchmark, both):
+    def check():
+        bed, result = both["pattern"]
+        demux = bed.server.eth.demultiplexer
+        assert isinstance(demux, PatternDemultiplexer)
+        assert demux.evaluations > 1000
+        assert bed.server.http.requests_served > 0
+
+    benchmark.pedantic(check, rounds=1)

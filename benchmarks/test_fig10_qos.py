@@ -1,0 +1,65 @@
+"""Benchmark: regenerate Figure 10 (QoS stream under load).
+
+Paper claims under test:
+
+* the 1 MBps stream's average stays within ~1 % of the target rate, with
+  and without protection domains, under full best-effort load;
+* best-effort traffic pays roughly 15 % (Accounting) and roughly 50 %
+  (Accounting_PD) — the stream simply needs that much CPU;
+* accounting is what makes the guarantee possible at all (there is no
+  Linux column in the paper's figure either).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.figure10 import (
+    PAPER_SLOWDOWN,
+    QOS_TARGET_BPS,
+    run_figure10,
+)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    counts = (16, 64) if os.environ.get("REPRO_FULL") == "1" else (64,)
+    return run_figure10(client_counts=counts, warmup_s=2.0, measure_s=3.0)
+
+
+def test_figure10_regenerate(benchmark, fig10):
+    text = benchmark.pedantic(fig10.format, rounds=1)
+    print()
+    print(text)
+
+
+def test_stream_holds_its_rate(benchmark, fig10):
+    def check():
+        for config in fig10.series:
+            assert fig10.qos_error(config) <= 0.02, (
+                config, fig10.qos_bandwidth[config])
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_best_effort_pays_the_reservation(benchmark, fig10):
+    def check():
+        acct = fig10.slowdown("accounting")
+        pd = fig10.slowdown("accounting_pd")
+        # Bands around the paper's ~15 % and ~50 %.
+        assert 0.05 <= acct <= 0.30, acct
+        assert 0.25 <= pd <= 0.65, pd
+        assert pd > acct
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_stream_consumes_more_share_under_pd(benchmark, fig10):
+    def check():
+        # The same 1 MBps costs far more CPU when every segment pays
+        # protection-domain crossings; the slowdown gap is the evidence.
+        gap = (fig10.slowdown("accounting_pd")
+               - fig10.slowdown("accounting"))
+        assert gap > 0.10, gap
+
+    benchmark.pedantic(check, rounds=1)

@@ -1,0 +1,101 @@
+"""Benchmark: regenerate Figure 8 (base web-server performance).
+
+Three panels (1 B / 1 KB / 10 KB documents), four configurations each.
+Shape assertions, from the paper's section 4.2:
+
+* base Scout serves over ~2x the connections of Apache/Linux;
+* fine-grain accounting costs on the order of 8 %;
+* protection domains (one per module) cost over 4x;
+* the 10 KB rate saturates at roughly half the 1 KB rate.
+
+Every test here runs under ``--benchmark-only`` (each uses the benchmark
+fixture); the regenerated figure is printed by the first.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.figure8 import (
+    CONFIGS,
+    PAPER_PLATEAUS,
+    run_figure8,
+)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    counts = (1, 2, 4, 8, 16, 32, 64) \
+        if os.environ.get("REPRO_FULL") == "1" else (1, 8, 64)
+    return run_figure8(client_counts=counts, warmup_s=0.5, measure_s=1.0)
+
+
+def test_figure8_regenerate(benchmark, fig8):
+    def report():
+        lines = [fig8.format(), ""]
+        for (doc, config), paper in sorted(PAPER_PLATEAUS.items()):
+            measured = fig8.plateau(doc, config)
+            lines.append(f"  plateau {doc:5s} {config:15s} "
+                         f"measured={measured:7.0f} paper~{paper:.0f}")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(report, rounds=1)
+    print()
+    print(text)
+
+
+def test_scout_beats_linux_by_2x(benchmark, fig8):
+    def check():
+        scout = fig8.plateau("1B", "scout")
+        linux = fig8.plateau("1B", "linux")
+        assert scout > 1.6 * linux, (scout, linux)
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_accounting_overhead_is_small(benchmark, fig8):
+    def check():
+        scout = fig8.plateau("1B", "scout")
+        accounting = fig8.plateau("1B", "accounting")
+        overhead = 1 - accounting / scout
+        assert 0.02 <= overhead <= 0.15, overhead
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_protection_domains_cost_over_4x(benchmark, fig8):
+    def check():
+        accounting = fig8.plateau("1B", "accounting")
+        pd = fig8.plateau("1B", "accounting_pd")
+        assert accounting / pd > 3.5, (accounting, pd)
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_1kb_tracks_1b(benchmark, fig8):
+    def check():
+        for config in CONFIGS:
+            one = fig8.plateau("1B", config)
+            kb = fig8.plateau("1KB", config)
+            assert abs(kb - one) / one < 0.15, (config, one, kb)
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_10kb_saturates_at_half_the_1kb_rate(benchmark, fig8):
+    def check():
+        for config in ("scout", "accounting"):
+            kb = fig8.plateau("1KB", config)
+            ten = fig8.plateau("10KB", config)
+            assert 0.35 <= ten / kb <= 0.70, (config, kb, ten)
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_throughput_rises_with_clients(benchmark, fig8):
+    def check():
+        for config in CONFIGS:
+            series = fig8.series["1B"][config]
+            assert series[0] < series[-1], (config, series)
+
+    benchmark.pedantic(check, rounds=1)

@@ -1,0 +1,76 @@
+"""Benchmark: regenerate Table 1 (accounting accuracy).
+
+Paper claims under test:
+
+* Escort accounts for virtually every cycle in the measurement window
+  (SYN accepted -> final FIN acknowledged), with and without protection
+  domains;
+* more than 92 % of non-idle cycles are charged to the active path
+  serving the request;
+* the TCP master event and the softclock are negligible;
+* the passive path's share is a small per-connection constant.
+"""
+
+import pytest
+
+from repro.experiments.table1 import PAPER, format_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return [run_table1("accounting"), run_table1("accounting_pd")]
+
+
+def test_table1_regenerate(benchmark, table1):
+    text = benchmark.pedantic(lambda: format_table1(table1), rounds=1)
+    print()
+    print(text)
+
+
+def test_virtually_all_cycles_accounted(benchmark, table1):
+    def check():
+        for result in table1:
+            assert 0.95 <= result.accounted_fraction <= 1.05, (
+                result.config, result.accounted_fraction)
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_active_path_dominates_busy_cycles(benchmark, table1):
+    def check():
+        for result in table1:
+            assert result.active_share_of_busy > 0.92, (
+                result.config, result.active_share_of_busy)
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_master_event_and_softclock_negligible(benchmark, table1):
+    def check():
+        for result in table1:
+            assert result.tcp_master < 0.01 * result.total_measured
+            assert result.softclock < 0.01 * result.total_measured
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_passive_path_share_is_small(benchmark, table1):
+    def check():
+        for result in table1:
+            assert result.passive < 0.10 * result.total_measured, (
+                result.config, result.passive, result.total_measured)
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_pd_config_measures_more_cycles(benchmark, table1):
+    def check():
+        acct = next(r for r in table1 if r.config == "accounting")
+        pd = next(r for r in table1 if r.config == "accounting_pd")
+        ratio = pd.total_measured / acct.total_measured
+        paper_ratio = (PAPER["accounting_pd"]["total_measured"]
+                       / PAPER["accounting"]["total_measured"])  # ~2.8
+        assert ratio > 2.0, ratio
+        assert ratio < 2 * paper_ratio, (ratio, paper_ratio)
+
+    benchmark.pedantic(check, rounds=1)

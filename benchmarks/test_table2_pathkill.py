@@ -1,0 +1,68 @@
+"""Benchmark: regenerate Table 2 (cycles to destroy a non-cooperating path).
+
+Paper claims under test:
+
+* pathKill reclaims everything a runaway path holds, in every protection
+  domain it crosses;
+* the Accounting_PD kill costs several times the Accounting kill (the
+  paper measures ~6.2x: 111,568 vs 17,951 cycles) because every crossed
+  domain must be visited;
+* the Accounting_PD kill is on the order of 10 % of a full 1-byte request
+  in that configuration;
+* containment is cheap in absolute terms (tens of thousands of cycles,
+  i.e. well under a millisecond at 300 MHz).
+"""
+
+import pytest
+
+from repro.experiments.table2 import PAPER, format_table2, run_table2
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return {name: run_table2(name)
+            for name in ("accounting", "accounting_pd", "linux")}
+
+
+def test_table2_regenerate(benchmark, table2):
+    text = benchmark.pedantic(
+        lambda: format_table2(list(table2.values())), rounds=1)
+    print()
+    print(text)
+
+
+def test_kill_costs_match_paper_within_2x(benchmark, table2):
+    def check():
+        for name, paper in PAPER.items():
+            measured = table2[name].kill_cycles
+            assert paper / 2 <= measured <= paper * 2, (name, measured)
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_pd_kill_costs_several_times_more(benchmark, table2):
+    def check():
+        ratio = (table2["accounting_pd"].kill_cycles
+                 / table2["accounting"].kill_cycles)
+        assert 3.0 <= ratio <= 12.0, ratio
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_pd_kill_visits_every_module_domain(benchmark, table2):
+    def check():
+        # Six non-privileged domains are crossed by a killed CGI path
+        # (eth, ip, tcp, http, fs, scsi minus any it never touched).
+        assert table2["accounting_pd"].domains >= 5
+        assert table2["accounting"].domains == 0
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_kill_is_submillisecond(benchmark, table2):
+    def check():
+        for name in ("accounting", "accounting_pd"):
+            cycles = table2[name].kill_cycles
+            assert cycles < 300_000, (name, cycles)  # < 1 ms at 300 MHz
+
+    benchmark.pedantic(check, rounds=1)

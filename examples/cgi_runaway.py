@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Scenario: detecting and containing a runaway CGI script (section 4.4.3).
+
+The attacker is indistinguishable from a legitimate client until its CGI
+handler has burned CPU: the policy gives every connection path a 2 ms
+maximum thread runtime; when a handler exceeds it, the kernel kills the
+thread — and since a killed thread leaves its owner inconsistent, the
+whole *path* is destroyed, reclaiming every resource it holds in every
+protection domain (Table 2 measures exactly this reclamation).
+
+Run:
+    python examples/cgi_runaway.py
+"""
+
+from repro.experiments.harness import Testbed
+from repro.policy import RunawayPolicy
+from repro.sim.clock import SERVER_CYCLE_HZ
+
+
+def main() -> None:
+    policy = RunawayPolicy(max_runtime_ms=2.0)
+    print("Runaway CGI containment demo")
+    print("=" * 55)
+    print(f"policy: {policy.describe()} "
+          f"(= {policy.limit_cycles:,} cycles at 300 MHz)")
+
+    # Protection domains ON: the kill must walk every domain the path
+    # crosses, which is the expensive (but complete) case.
+    bed = Testbed.escort(accounting=True, protection_domains=True,
+                         policies=[policy])
+    bed.add_clients(8, document="/doc-1k")
+    bed.add_cgi_attackers(3)   # three runaway scripts per second total
+    result = bed.run(warmup_s=0.5, measure_s=3.0)
+
+    print(f"\nbest-effort clients: {result.connections_per_second:.0f} "
+          f"conn/s while under attack")
+    print(f"runaway threads detected and killed: {result.runaway_kills}")
+
+    reports = bed.server.kernel.kill_reports
+    print("\npathKill reports (everything the dead paths held):")
+    for report in reports[:5]:
+        print(f"  {report.owner_name}: {report.cycles:,} cycles to reclaim "
+              f"{report.threads} threads, {report.stacks} stacks, "
+              f"{report.pages} pages, {report.heap_allocations} heap objects "
+              f"across {report.domains_visited} protection domains")
+    if len(reports) > 5:
+        print(f"  ... and {len(reports) - 5} more")
+
+    avg = sum(r.cycles for r in reports) / len(reports)
+    print(f"\naverage kill cost: {avg:,.0f} cycles "
+          f"({avg / SERVER_CYCLE_HZ * 1000:.3f} ms)  "
+          f"[paper: 111,568 cycles in this configuration]")
+
+    print("\nnote the asymmetry the paper emphasizes: the attacker costs")
+    print("the server 2 ms + ~0.4 ms per attack, bounded and reclaimed —")
+    print("removal of the offender is NOT itself a denial of service.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Scenario: enforcing policy with a filter module (section 2.5, level 4).
+
+Filters are modules whose purpose is policy, not functionality.  The
+paper's example is a filter between TCP and IP that narrows the interface
+from "receive packets" to "receive packets to port 80" — used with a
+completely vanilla TCP module.
+
+This demo builds the web-server graph with a PortFilter spliced between IP
+and TCP, then pokes it with traffic to port 80 (passes) and port 23
+(dropped at demultiplexing time, before any path is identified).
+
+Run:
+    python examples/custom_filter.py
+"""
+
+from repro.experiments.harness import Testbed
+from repro.modules.filters import PortFilter
+from repro.net.packet import (
+    ETHERTYPE_IP,
+    EthFrame,
+    FLAG_SYN,
+    IPDatagram,
+    IPPROTO_TCP,
+    TCPSegment,
+)
+from repro.sim.clock import seconds_to_ticks
+
+
+def main() -> None:
+    print("Port-80 filter demo (policy as a module)")
+    print("=" * 55)
+
+    bed = Testbed.escort(accounting=True)
+    server = bed.server
+
+    # Splice the filter into the graph between IP (pos 10) and TCP (20).
+    pd = server.kernel.privileged_domain
+    port_filter = PortFilter(server.kernel, "port80", pd,
+                             allowed_ports={80})
+    server.graph.add(port_filter, position=15)
+    server.graph.connect("ip", "port80")
+    server.graph.connect("port80", "tcp")
+    # Re-route IP's demux through the filter: in a real build this is the
+    # configuration-time graph; here we adjust the demux edge.
+    original_demux = server.ip_mod.demux
+
+    def filtered_demux(dgram):
+        result = original_demux(dgram)
+        if result.kind == "continue" and result.next_module == "tcp":
+            result.next_module = "port80"
+        return result
+
+    server.ip_mod.demux = filtered_demux
+
+    bed.add_clients(4, document="/doc-1k")
+    bed.server.boot()
+    bed.sim.run(until=seconds_to_ticks(0.01))
+    for client in bed.clients:
+        client.start()
+
+    # Craft a stray telnet SYN aimed at the server.
+    stray = EthFrame(
+        bed.clients[0].nic.mac, server.nic.mac, ETHERTYPE_IP,
+        IPDatagram(bed.clients[0].ip, server.ip, IPPROTO_TCP,
+                   TCPSegment(5555, 23, seq=0, ack=0, flags=FLAG_SYN)))
+    bed.sim.schedule(seconds_to_ticks(0.5), lambda: bed.clients[0].nic.send(stray))
+
+    bed.sim.run(until=seconds_to_ticks(1.5))
+
+    served = server.http.requests_served
+    print(f"\nport-80 requests served:   {served}")
+    print(f"filter demux drops:        {port_filter.dropped_demux} "
+          f"(the telnet SYN died here)")
+    print(f"eth drop reasons:          {server.eth.drops}")
+    print("\nthe same vanilla TCP module runs on both sides of the filter;")
+    print("no security policy is embedded in TCP itself.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Scenario: penalty-boxing repeat offenders (paper section 4.4.4).
+
+"Clients that have previously violated some resource bound — e.g., the CGI
+attackers in our example — can be identified and their future connection
+request packets demultiplexed to a different distinct passive path with a
+very small resource allocation."
+
+The demo convicts a CGI attacker via the runaway policy, then shows its
+*next* connection requests landing on the penalty passive path while
+innocent clients are untouched.  It also demonstrates the PathFinder-style
+pattern demultiplexer as a drop-in alternative classifier.
+
+Run:
+    python examples/penalty_box.py
+"""
+
+from repro.core.patterndemux import (
+    PatternDemultiplexer,
+    install_webserver_patterns,
+)
+from repro.experiments.harness import Testbed
+from repro.policy import MisbehaverPolicy, RunawayPolicy
+
+
+def main() -> None:
+    print("Penalty box + pattern demux demo")
+    print("=" * 55)
+
+    misbehaver = MisbehaverPolicy(penalty_cap=2)
+    bed = Testbed.escort(policies=[RunawayPolicy(2.0), misbehaver])
+    bed.add_clients(4, document="/doc-1k")
+    attackers = bed.add_cgi_attackers(1)
+    result = bed.run(warmup_s=0.5, measure_s=3.0)
+
+    attacker_ip = attackers[0].ip
+    print(f"\nrunaway kills: {result.runaway_kills}")
+    print(f"offenders recorded: {sorted(misbehaver.offenders)}")
+    listener = bed.server.tcp.listeners[80]
+    print(f"attacker {attacker_ip} now demuxes to: "
+          f"{listener.select(attacker_ip).name}")
+    print(f"innocent 10.1.0.1 still demuxes to:   "
+          f"{listener.select('10.1.0.1').name}")
+    print(f"penalty path half-open cap: "
+          f"{listener.penalty_path.policy_state['syn_cap']}")
+    print(f"best-effort clients meanwhile served "
+          f"{result.client_completions} requests")
+
+    # ------------------------------------------------------------------
+    print("\nSwapping in the PathFinder-style pattern demultiplexer...")
+    pattern = PatternDemultiplexer(bed.server.kernel)
+    install_webserver_patterns(pattern, bed.server)
+    bed.server.eth.demultiplexer = pattern
+    before = bed.server.http.requests_served
+    bed.sim.run(until=bed.sim.now + int(0.5 * 600_000_000))
+    after = bed.server.http.requests_served
+    print(f"requests served under pattern demux: {after - before}")
+    print(f"patterns installed: {len(pattern)}; evaluations: "
+          f"{pattern.evaluations}")
+    print("\nno module code ran at interrupt time for any of them —")
+    print("the liberal-trust alternative the paper points to (section 2.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Scenario: defending a web server against a SYN flood (paper section 4.4.1).
+
+The policy: two passive paths on port 80 — one for the trusted subnet, one
+for everyone else — and a cap on the number of half-open (SYN_RCVD)
+connections the untrusted path may have outstanding.  Once the cap fills,
+flood SYNs are identified *during demultiplexing* and dropped for the cost
+of an interrupt plus three demux calls.
+
+The demo runs the same client load twice, without and with a 1000 SYN/s
+attacker, and shows the trusted clients barely notice.
+
+Run:
+    python examples/syn_flood_defense.py
+"""
+
+from repro.experiments.harness import TRUSTED_SUBNET, Testbed
+from repro.policy import SynFloodPolicy
+
+
+def run(with_attack: bool):
+    policy = SynFloodPolicy(TRUSTED_SUBNET, untrusted_cap=16)
+    bed = Testbed.escort(accounting=True, policies=[policy])
+    bed.add_clients(32, document="/doc-1k")
+    if with_attack:
+        bed.add_syn_attacker(rate_per_second=1000)
+    result = bed.run(warmup_s=1.5, measure_s=2.0)
+    return bed, result
+
+
+def main() -> None:
+    print("SYN flood defence with dual passive paths")
+    print("=" * 55)
+
+    bed, baseline = run(with_attack=False)
+    print(f"\nwithout attack: {baseline.connections_per_second:.0f} conn/s "
+          f"from 32 trusted clients")
+
+    bed, attacked = run(with_attack=True)
+    print(f"with 1000 SYN/s flood: "
+          f"{attacked.connections_per_second:.0f} conn/s")
+    slowdown = 1 - (attacked.connections_per_second
+                    / baseline.connections_per_second)
+    print(f"slowdown: {slowdown:.1%}  (paper: < 5 % for this config)")
+
+    print(f"\nflood SYNs in the window: {attacked.syn_sent}")
+    print(f"dropped at demux time:    {attacked.syn_dropped_at_demux}")
+    tcp = bed.server.tcp
+    untrusted = next(p for p in bed.server.http.passive_paths
+                     if "untrusted" in p.name)
+    print(f"half-open connections pinned at the cap: "
+          f"{untrusted.policy_state.get('syn_recvd', 0)} "
+          f"(cap {untrusted.policy_state.get('syn_cap')})")
+
+    print("\nwhy it works: the SYN_RCVD count lives in the passive path's")
+    print("state, so the demux function can consult it and reject floods")
+    print("before a single path resource is committed.")
+
+
+if __name__ == "__main__":
+    main()

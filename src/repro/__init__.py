@@ -1,0 +1,23 @@
+"""Escort: defending against denial-of-service attacks in Scout.
+
+A faithful, simulation-based reproduction of Spatscheck & Peterson,
+"Defending Against Denial of Service Attacks in Scout" (OSDI 1999).
+
+The package implements the Escort security architecture -- per-path resource
+accounting plus protection domains over the Scout module-graph/path OS -- and
+the full web-server testbed its evaluation uses: protocol modules (ETH, ARP,
+IP, TCP, HTTP), storage modules (FS, SCSI), clients, attackers, a QoS
+stream, and a Linux/Apache baseline, all over a cycle-accurate
+discrete-event simulation.
+
+Quickstart::
+
+    from repro.experiments import Testbed
+
+    bed = Testbed.escort(accounting=True, protection_domains=False)
+    bed.add_clients(4, document="/doc-1k")
+    results = bed.run(warmup_s=0.2, measure_s=1.0)
+    print(results.connections_per_second)
+"""
+
+__version__ = "1.0.0"

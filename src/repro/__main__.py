@@ -1,0 +1,45 @@
+"""``python -m repro`` — a guided tour of the reproduction.
+
+Prints the system inventory, boots one of each server configuration for a
+quick sanity run, and points at the longer drivers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv=None) -> int:
+    """Run the guided tour; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("usage: python -m repro [--smoke]")
+        return 0
+
+    from repro import __version__
+    from repro.experiments.harness import Testbed
+
+    print(f"Escort reproduction v{__version__}")
+    print("Paper: Spatscheck & Peterson, 'Defending Against Denial of "
+          "Service Attacks in Scout', OSDI 1999\n")
+
+    print("Sanity run: 4 clients fetching /doc-1k for 0.5 s on each "
+          "configuration...")
+    for name in ("scout", "accounting", "accounting_pd", "linux"):
+        bed = Testbed.by_name(name)
+        bed.add_clients(4, document="/doc-1k")
+        result = bed.run(warmup_s=0.3, measure_s=0.5)
+        print(f"  {name:15s} {result.connections_per_second:6.0f} conn/s "
+              f"({result.client_completions} completed, "
+              f"{result.client_failures} failed)")
+
+    print("\nNext steps:")
+    print("  python examples/quickstart.py          accounting walkthrough")
+    print("  python examples/reproduce_paper.py     every table and figure")
+    print("  pytest benchmarks/ --benchmark-only    assertions vs the paper")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""The path architecture — the paper's primary contribution.
+
+A *path* is a logical channel through the module graph: it encapsulates the
+sequence of code modules applied to I/O data and is the entity that gets
+scheduled.  Escort makes the path the unit of resource accounting: the path
+object embeds an :class:`~repro.kernel.owner.Owner`, carries the hash of
+allowed protection-domain crossings, the stage list, the queues, a thread
+pool, and a reference count (paper Figure 6).
+
+:mod:`repro.core.path` defines Path and Stage; :mod:`repro.core.lifecycle`
+implements pathCreate / pathDestroy / pathKill; :mod:`repro.core.demux`
+implements the incremental demultiplexer; :mod:`repro.core.attributes` the
+invariant attribute sets paths are created with.
+"""
+
+from repro.core.attributes import Attributes
+from repro.core.path import Path, Stage, PathWork
+from repro.core.demux import (
+    Demultiplexer,
+    DemuxResult,
+    CONTINUE,
+    DROP,
+    TO_PATH,
+)
+from repro.core.lifecycle import PathManager
+from repro.core.patterndemux import (
+    FieldTest,
+    Pattern,
+    PatternDemultiplexer,
+)
+
+__all__ = [
+    "FieldTest",
+    "Pattern",
+    "PatternDemultiplexer",
+    "Attributes",
+    "Path",
+    "Stage",
+    "PathWork",
+    "Demultiplexer",
+    "DemuxResult",
+    "CONTINUE",
+    "DROP",
+    "TO_PATH",
+    "PathManager",
+]

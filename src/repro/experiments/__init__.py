@@ -1,0 +1,24 @@
+"""The experiment harness and per-figure/table runners.
+
+:class:`~repro.experiments.harness.Testbed` assembles Figure 7's machine
+room — server, switch, hub, clients, attackers, QoS receiver — around any
+of the four server configurations, and measures rates over a warmup-then-
+measure window exactly like the paper.
+
+Each evaluation artifact has a runner module:
+
+========  =====================================  =========================
+Artifact  Paper content                          Runner
+========  =====================================  =========================
+Fig 8     throughput vs clients, 4 configs       repro.experiments.figure8
+Table 1   cycle accounting accuracy              repro.experiments.table1
+Table 2   pathKill cost                          repro.experiments.table2
+Fig 9     SYN attack impact                      repro.experiments.figure9
+Fig 10    QoS stream impact                      repro.experiments.figure10
+Fig 11    CGI attack impact                      repro.experiments.figure11
+========  =====================================  =========================
+"""
+
+from repro.experiments.harness import Testbed, RunResult, CycleLedger
+
+__all__ = ["Testbed", "RunResult", "CycleLedger"]

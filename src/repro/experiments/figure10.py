@@ -1,0 +1,92 @@
+"""Figure 10: sustaining a QoS stream under load.
+
+A 1 MBps TCP stream with a proportional-share CPU reservation runs while
+1-64 best-effort clients hammer the server.  Paper shape targets:
+
+* the stream's ten-second averages stay within 1 % of the 1 MBps target;
+* best-effort traffic slows ~15 % under Accounting and ~50 % under
+  Accounting_PD (the stream simply needs that much more CPU when every
+  segment pays protection-domain crossings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.harness import Testbed
+from repro.experiments.report import format_table
+from repro.policy import QosPolicy
+
+PAPER_SLOWDOWN = {"accounting": 0.15, "accounting_pd": 0.50}
+QOS_TARGET_BPS = 1_000_000
+
+
+@dataclass
+class Figure10Result:
+    client_counts: List[int]
+    doc_label: str
+    series: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    qos_bandwidth: Dict[str, float] = field(default_factory=dict)
+    qos_windows: Dict[str, List[float]] = field(default_factory=dict)
+
+    def slowdown(self, config: str) -> float:
+        base = self.series[config]["base"][-1]
+        with_qos = self.series[config]["qos"][-1]
+        return 1 - with_qos / base if base else 0.0
+
+    def qos_error(self, config: str) -> float:
+        return abs(self.qos_bandwidth[config] - QOS_TARGET_BPS) \
+            / QOS_TARGET_BPS
+
+    def format(self) -> str:
+        headers = ["clients"]
+        for config in self.series:
+            headers += [config, f"{config}+QoS"]
+        rows = []
+        for i, n in enumerate(self.client_counts):
+            row = [n]
+            for config in self.series:
+                row += [self.series[config]["base"][i],
+                        self.series[config]["qos"][i]]
+            rows.append(row)
+        notes = "; ".join(
+            f"{c}: stream {self.qos_bandwidth[c] / 1e6:.3f} MB/s "
+            f"(err {self.qos_error(c):.1%}), best-effort slowdown "
+            f"{self.slowdown(c):.1%} (paper ~{PAPER_SLOWDOWN.get(c, 0):.0%})"
+            for c in self.series)
+        return format_table(
+            f"Figure 10 — {self.doc_label} documents with a 1 MBps QoS "
+            f"stream (connections/second)", headers, rows, note=notes)
+
+
+def run_figure10(client_counts: Sequence[int] = (16, 64),
+                 configs: Sequence[str] = ("accounting", "accounting_pd"),
+                 document: str = "/doc-1", doc_label: str = "1B",
+                 warmup_s: float = 2.0,
+                 measure_s: float = 3.0) -> Figure10Result:
+    """Measure best-effort throughput with and without the QoS stream."""
+    result = Figure10Result(client_counts=list(client_counts),
+                            doc_label=doc_label)
+    for config in configs:
+        base_series, qos_series = [], []
+        bw = 0.0
+        windows: List[float] = []
+        for n in client_counts:
+            for with_qos in (False, True):
+                bed = Testbed.by_name(
+                    config, policies=[QosPolicy(QOS_TARGET_BPS)])
+                bed.add_clients(n, document=document)
+                if with_qos:
+                    bed.add_qos_receiver()
+                run = bed.run(warmup_s=warmup_s, measure_s=measure_s)
+                if with_qos:
+                    qos_series.append(run.connections_per_second)
+                    bw = run.qos_bandwidth_bps
+                    windows = run.qos_windows
+                else:
+                    base_series.append(run.connections_per_second)
+        result.series[config] = {"base": base_series, "qos": qos_series}
+        result.qos_bandwidth[config] = bw
+        result.qos_windows[config] = windows
+    return result

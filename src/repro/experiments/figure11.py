@@ -1,0 +1,98 @@
+"""Figure 11: the CGI attack.
+
+64 clients plus the 1 MBps QoS stream, with 0-50 CGI attackers each
+launching one runaway-CGI request per second.  The policy detects a
+runaway after 2 ms of CPU and pathKills it, reclaiming everything.
+
+Paper shape targets:
+
+* the QoS stream stays within 1 % of its target in ALL cases;
+* best-effort traffic degrades substantially with attacker count — each
+  attack costs the 2 ms detection window plus the kill — and
+  Accounting_PD suffers proportionally more (its kills cost ~6x);
+* every attack is detected (kills track attacks launched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.harness import Testbed
+from repro.experiments.report import format_table
+from repro.policy import QosPolicy, RunawayPolicy
+
+QOS_TARGET_BPS = 1_000_000
+
+
+@dataclass
+class Figure11Result:
+    attacker_counts: List[int]
+    doc_label: str
+    #: config -> conn/s series over attacker counts.
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    qos_series: Dict[str, List[float]] = field(default_factory=dict)
+    kills: Dict[str, List[int]] = field(default_factory=dict)
+
+    def degradation(self, config: str) -> float:
+        base = self.series[config][0]
+        worst = self.series[config][-1]
+        return 1 - worst / base if base else 0.0
+
+    def max_qos_error(self, config: str) -> float:
+        return max(abs(bw - QOS_TARGET_BPS) / QOS_TARGET_BPS
+                   for bw in self.qos_series[config])
+
+    def format(self) -> str:
+        headers = ["attackers"]
+        for config in self.series:
+            headers += [config, f"{config} QoS MB/s", f"{config} kills"]
+        rows = []
+        for i, n in enumerate(self.attacker_counts):
+            row = [n]
+            for config in self.series:
+                row += [self.series[config][i],
+                        round(self.qos_series[config][i] / 1e6, 3),
+                        self.kills[config][i]]
+            rows.append(row)
+        notes = "; ".join(
+            f"{c}: best-effort degrades {self.degradation(c):.1%} at "
+            f"{self.attacker_counts[-1]} attackers, QoS error <= "
+            f"{self.max_qos_error(c):.1%}"
+            for c in self.series)
+        table = format_table(
+            f"Figure 11 — {self.doc_label} documents, 64 clients, 1 MBps "
+            f"QoS stream, runaway CGI attackers (connections/second)",
+            headers, rows, note=notes)
+        if len(self.attacker_counts) > 1:
+            from repro.experiments.plotting import figure11_chart
+            table = table + "\n\n" + figure11_chart(self)
+        return table
+
+
+def run_figure11(attacker_counts: Sequence[int] = (0, 1, 10, 50),
+                 configs: Sequence[str] = ("accounting", "accounting_pd"),
+                 clients: int = 64,
+                 document: str = "/doc-1", doc_label: str = "1B",
+                 warmup_s: float = 1.5,
+                 measure_s: float = 3.0) -> Figure11Result:
+    """Sweep CGI attacker counts against 64 clients plus the stream."""
+    result = Figure11Result(attacker_counts=list(attacker_counts),
+                            doc_label=doc_label)
+    for config in configs:
+        series, qos_series, kills = [], [], []
+        for n_attackers in attacker_counts:
+            bed = Testbed.by_name(config, policies=[
+                QosPolicy(QOS_TARGET_BPS), RunawayPolicy(2.0)])
+            bed.add_clients(clients, document=document)
+            bed.add_qos_receiver()
+            if n_attackers:
+                bed.add_cgi_attackers(n_attackers)
+            run = bed.run(warmup_s=warmup_s, measure_s=measure_s)
+            series.append(run.connections_per_second)
+            qos_series.append(run.qos_bandwidth_bps)
+            kills.append(run.runaway_kills)
+        result.series[config] = series
+        result.qos_series[config] = qos_series
+        result.kills[config] = kills
+    return result

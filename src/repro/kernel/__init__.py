@@ -1,0 +1,58 @@
+"""The Escort kernel.
+
+Escort extends Scout with two mechanisms (paper sections 2.3-2.4): resource
+*accounting* — every resource is charged to an :class:`~repro.kernel.owner.Owner`,
+which is either a path or a protection domain — and hardware-enforced
+*protection domains* around the modules configured into the system.
+
+This package implements the kernel objects behind Escort's 52 system calls:
+owners, protection domains, memory pages and heaps, IOBuffers, threads,
+events, semaphores, the softclock, the three schedulers the paper lists
+(priority, proportional share, EDF), and the role-based ACL guarding the
+kernel itself.
+"""
+
+from repro.kernel.errors import (
+    EscortError,
+    PermissionError_,
+    ResourceLimitError,
+    OwnerDestroyedError,
+    InvalidOperationError,
+)
+from repro.kernel.owner import Owner, OwnerType, ResourceUsage
+from repro.kernel.memory import Page, PageAllocator, PAGE_SIZE
+from repro.kernel.domain import ProtectionDomain, HeapAllocation
+from repro.kernel.iobuffer import IOBuffer, IOBufferCache
+from repro.kernel.events import KernelEvent, Semaphore, Softclock
+from repro.kernel.threads import EscortThread, ThreadPool
+from repro.kernel.acl import AccessControlList, Role
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.syscalls import SystemCalls
+
+__all__ = [
+    "EscortError",
+    "PermissionError_",
+    "ResourceLimitError",
+    "OwnerDestroyedError",
+    "InvalidOperationError",
+    "Owner",
+    "OwnerType",
+    "ResourceUsage",
+    "Page",
+    "PageAllocator",
+    "PAGE_SIZE",
+    "ProtectionDomain",
+    "HeapAllocation",
+    "IOBuffer",
+    "IOBufferCache",
+    "KernelEvent",
+    "Semaphore",
+    "Softclock",
+    "EscortThread",
+    "ThreadPool",
+    "AccessControlList",
+    "Role",
+    "Kernel",
+    "KernelConfig",
+    "SystemCalls",
+]

@@ -1,0 +1,22 @@
+"""Escort's thread schedulers.
+
+The paper: "Escort currently supports a priority-based scheduler, a
+proportional share scheduler, and an EDF scheduler" — the scheduler is
+picked at configuration time.  All three implement the same four-method
+interface the CPU drives (``enqueue``, ``dequeue``, ``pick``,
+``on_charge``), and all schedule *owners* (paths / protection domains),
+round-robining among an owner's runnable threads; per-owner scheduling is
+what makes QoS guarantees per path possible.
+"""
+
+from repro.kernel.sched.base import OwnerScheduler
+from repro.kernel.sched.priority import PriorityScheduler
+from repro.kernel.sched.proportional import ProportionalShareScheduler
+from repro.kernel.sched.edf import EDFScheduler
+
+__all__ = [
+    "OwnerScheduler",
+    "PriorityScheduler",
+    "ProportionalShareScheduler",
+    "EDFScheduler",
+]

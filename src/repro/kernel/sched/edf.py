@@ -1,0 +1,56 @@
+"""Earliest-deadline-first scheduler.
+
+Owners declare a period (``owner.sched.period_ticks``); when an owner
+becomes runnable after being idle it receives a deadline one period in the
+future, and the runnable owner with the earliest deadline runs.  When an
+owner's deadline passes while it remains runnable, the deadline advances by
+its period (implicit-deadline periodic task model).
+
+Owners with no period (``period_ticks == 0``) are background: they are
+given an effectively infinite deadline and only run when no periodic owner
+is runnable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.owner import Owner
+from repro.kernel.sched.base import OwnerScheduler
+
+#: Deadline assigned to aperiodic (background) owners.
+BACKGROUND_DEADLINE = 1 << 62
+
+
+class EDFScheduler(OwnerScheduler):
+    """Earliest deadline first across owners."""
+
+    def __init__(self, now_fn=None) -> None:
+        super().__init__()
+        #: Clock source; injected so the scheduler stays engine-agnostic.
+        self._now = now_fn or (lambda: 0)
+
+    def on_owner_active(self, owner: Owner) -> None:
+        sched = owner.sched
+        if sched.period_ticks <= 0:
+            sched.deadline = BACKGROUND_DEADLINE
+            return
+        now = self._now()
+        if sched.deadline <= now:
+            sched.deadline = now + sched.period_ticks
+
+    def pick_owner(self) -> Optional[Owner]:
+        now = self._now()
+        best = None
+        best_key = None
+        for owner in self._runnable:
+            sched = owner.sched
+            # Roll forward deadlines that expired while runnable.
+            if 0 < sched.period_ticks and sched.deadline < now:
+                missed = (now - sched.deadline) // sched.period_ticks + 1
+                sched.deadline += missed * sched.period_ticks
+            key = (sched.deadline, owner.oid)
+            if best_key is None or key < best_key:
+                best = owner
+                best_key = key
+        return best

@@ -1,0 +1,50 @@
+"""Fixed-priority scheduler.
+
+Owners carry an integer priority (``owner.sched.priority``, higher wins);
+ties break round-robin by recency of activation so equal-priority owners
+share the CPU.  This is the scheduler the paper's "very low priority
+passive path" remark (section 4.4.4) assumes: a suspicious client's
+connection requests can be demultiplexed to a passive path that only runs
+when nothing better is runnable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.kernel.owner import Owner
+from repro.kernel.sched.base import OwnerScheduler
+
+
+class PriorityScheduler(OwnerScheduler):
+    """Strict priority across owners, round-robin within a priority."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._levels: Dict[int, Deque[Owner]] = {}
+
+    def on_owner_active(self, owner: Owner) -> None:
+        level = owner.sched.priority
+        self._levels.setdefault(level, deque()).append(owner)
+
+    def on_owner_idle(self, owner: Owner) -> None:
+        level = owner.sched.priority
+        queue = self._levels.get(level)
+        if not queue:
+            return
+        try:
+            queue.remove(owner)
+        except ValueError:
+            pass
+        if not queue:
+            del self._levels[level]
+
+    def pick_owner(self) -> Optional[Owner]:
+        if not self._levels:
+            return None
+        best = max(self._levels)
+        queue = self._levels[best]
+        owner = queue.popleft()
+        queue.append(owner)  # round-robin within the level
+        return owner

@@ -1,0 +1,82 @@
+"""Proportional-share scheduler (stride scheduling).
+
+This is the scheduler the QoS experiments use: "a proportional share
+scheduler is used to ensure that the path responsible for this connection
+receives this bandwidth" (paper section 4.1.2).  Owners hold *tickets*
+(``owner.sched.tickets``); over any interval in which an owner stays
+runnable it receives CPU in proportion to its tickets.
+
+Implementation is classic stride scheduling: each owner advances a virtual
+time ("pass") by ``cycles * STRIDE1 / tickets`` as it consumes cycles; the
+runnable owner with the smallest pass runs next.  Owners waking from idle
+are clamped to the current minimum pass so sleeping cannot bank credit —
+that clamp is what makes the scheduler work-conserving while still
+protecting reservations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.cpu import SimThread
+from repro.kernel.owner import Owner
+from repro.kernel.sched.base import OwnerScheduler
+
+#: Stride normalization constant (large so integer division keeps
+#: precision even for big ticket counts).
+STRIDE1 = 1 << 20
+
+
+class ProportionalShareScheduler(OwnerScheduler):
+    """Stride scheduling over owners."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: The owner whose thread the CPU is currently running.  It has
+        #: left the runnable map, but its pass must still anchor the
+        #: virtual-time floor — otherwise every yield would re-clamp it
+        #: against the *other* owners and erase its ticket advantage.
+        self._serving: Optional[Owner] = None
+
+    def on_owner_active(self, owner: Owner) -> None:
+        if owner is self._serving:
+            # The owner is continuing (its thread yielded or re-blocked
+            # mid-service); it never really left, so no wake clamp — this
+            # is what preserves a reservation's advantage while it stays
+            # busy.
+            return
+        floor = self._min_pass(exclude=owner)
+        if floor is not None and owner.sched.stride_pass < floor:
+            owner.sched.stride_pass = floor
+
+    def _min_pass(self, exclude: Optional[Owner] = None) -> Optional[int]:
+        best = None
+        for owner in self._runnable:
+            if owner is exclude:
+                continue
+            p = owner.sched.stride_pass
+            if best is None or p < best:
+                best = p
+        serving = self._serving
+        if serving is not None and serving is not exclude \
+                and not serving.destroyed:
+            p = serving.sched.stride_pass
+            if best is None or p < best:
+                best = p
+        return best
+
+    def pick_owner(self) -> Optional[Owner]:
+        best = None
+        best_key = None
+        for owner in self._runnable:
+            key = (owner.sched.stride_pass, owner.oid)
+            if best_key is None or key < best_key:
+                best = owner
+                best_key = key
+        self._serving = best
+        return best
+
+    def on_charge(self, thread: SimThread, cycles: int) -> None:
+        sched = thread.owner.sched
+        tickets = max(1, sched.tickets)
+        sched.stride_pass += cycles * STRIDE1 // tickets

@@ -1,0 +1,13 @@
+"""The Linux/Apache baseline (paper section 4.1.1).
+
+"Apache 1.2.6 web server running on RedHat 5.1 with the 2.0.34 Linux
+kernel", on the same AlphaPC hardware.  We model it as a monolithic-kernel,
+process-per-connection server: a single serialized CPU, no early demux
+(every packet — including flood SYNs — costs full kernel processing), and
+the calibrated per-request/per-segment costs that put its plateau at about
+half of base Scout's, as Figure 8 reports.
+"""
+
+from repro.linux.server import LinuxServer
+
+__all__ = ["LinuxServer"]

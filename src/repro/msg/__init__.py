@@ -1,0 +1,7 @@
+"""The message library (Mosberger, TR97-19) — one of Escort's trusted
+libraries, mapped into all protection domains."""
+
+from repro.msg.message import Message
+from repro.msg.participants import Participant, ParticipantList
+
+__all__ = ["Message", "Participant", "ParticipantList"]

@@ -1,0 +1,105 @@
+"""Messages over IOBuffers.
+
+The message library "is used to efficiently manage the IOBuffer and offer a
+simple user interface tailored for manipulating network messages" (paper
+section 3.3).  Two properties from the paper are implemented here:
+
+* header push/pop without copying — protocol modules prepend and strip
+  headers by adjusting message metadata, never touching the payload;
+* a second, user-level layer of reference counting on top of the kernel's
+  IOBuffer locks, so each protection domain holds at most one kernel lock
+  per buffer no matter how many messages alias it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.kernel.errors import InvalidOperationError
+from repro.kernel.iobuffer import IOBuffer, IOBufferCache
+from repro.kernel.owner import Owner
+
+
+class Message:
+    """A network message: stacked headers plus an optional IOBuffer body."""
+
+    def __init__(self, body_len: int = 0,
+                 iobuf: Optional[IOBuffer] = None,
+                 payload: Any = None):
+        if body_len < 0:
+            raise ValueError("body_len must be >= 0")
+        self.body_len = body_len
+        self.iobuf = iobuf
+        self.payload = payload
+        self._headers: List[Tuple[str, int]] = []
+        # User-level reference counts per owner: {owner: count}.
+        self._refs = {}
+        self._kernel_locked_by = set()
+
+    # ------------------------------------------------------------------
+    # Headers
+    # ------------------------------------------------------------------
+    def push(self, name: str, size: int) -> None:
+        """Prepend a header (no copy: metadata only)."""
+        if size < 0:
+            raise ValueError("header size must be >= 0")
+        self._headers.append((name, size))
+
+    def pop(self) -> Tuple[str, int]:
+        """Strip the outermost header."""
+        if not self._headers:
+            raise InvalidOperationError("pop on message with no headers")
+        return self._headers.pop()
+
+    def peek(self) -> Optional[Tuple[str, int]]:
+        return self._headers[-1] if self._headers else None
+
+    @property
+    def header_len(self) -> int:
+        return sum(size for _, size in self._headers)
+
+    @property
+    def total_len(self) -> int:
+        return self.header_len + self.body_len
+
+    # ------------------------------------------------------------------
+    # User-level reference counting over kernel locks
+    # ------------------------------------------------------------------
+    def add_ref(self, owner: Owner, iobufs: Optional[IOBufferCache] = None) -> None:
+        """Take a user-level reference for ``owner``.
+
+        The first reference per owner takes the single kernel lock the
+        library is allowed; later ones are pure library bookkeeping —
+        "each protection domain holds at most one kernel lock on any
+        IOBuffer, reducing the number of kernel calls".
+        """
+        count = self._refs.get(owner, 0)
+        if count == 0 and self.iobuf is not None and iobufs is not None:
+            iobufs.lock(self.iobuf, owner)
+            self._kernel_locked_by.add(owner)
+        self._refs[owner] = count + 1
+
+    def release(self, owner: Owner, iobufs: Optional[IOBufferCache] = None) -> None:
+        """Drop a reference; the last one per owner drops the kernel lock."""
+        count = self._refs.get(owner, 0)
+        if count == 0:
+            raise InvalidOperationError(
+                f"{owner.name} holds no reference on this message")
+        count -= 1
+        if count == 0:
+            del self._refs[owner]
+            if owner in self._kernel_locked_by and iobufs is not None:
+                iobufs.unlock(self.iobuf, owner)
+                self._kernel_locked_by.discard(owner)
+        else:
+            self._refs[owner] = count
+
+    def refs_of(self, owner: Owner) -> int:
+        return self._refs.get(owner, 0)
+
+    def kernel_locks(self) -> int:
+        return len(self._kernel_locked_by)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hdrs = "+".join(name for name, _ in reversed(self._headers))
+        return f"<Message [{hdrs}] body={self.body_len}>"

@@ -1,0 +1,121 @@
+"""The participant-address library.
+
+Escort "currently supplies libraries to manage messages, hash tables,
+participant addresses, attributes, queues, heaps, and time" (paper section
+2.3).  Participant addresses are the x-kernel convention Scout inherited:
+an endpoint is a *stack* of per-protocol addresses (e.g. port on top of IP
+address on top of a MAC), pushed by each layer as an open call travels
+down the graph, and a *participant list* names the endpoints of a session
+(remote first, then local).
+
+The TCP module's open calls in this reproduction carry their endpoints as
+plain attributes; this library exists for module authors who want the
+composable form, and it is what the UDP examples use in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+
+class Participant:
+    """One endpoint: a stack of (protocol, address) pairs.
+
+    The top of the stack is the most specific address (pushed last) —
+    e.g. ``[("eth", mac), ("ip", "10.0.0.80"), ("tcp", 80)]`` reads
+    bottom-up.
+    """
+
+    def __init__(self, entries: Optional[Sequence[Tuple[str, Any]]] = None):
+        self._stack: List[Tuple[str, Any]] = list(entries or [])
+
+    # ------------------------------------------------------------------
+    def push(self, protocol: str, address: Any) -> "Participant":
+        """Push a layer's address; returns self for chaining."""
+        self._stack.append((protocol, address))
+        return self
+
+    def pop(self) -> Tuple[str, Any]:
+        """Pop the most specific address (raises IndexError when empty)."""
+        if not self._stack:
+            raise IndexError("participant address stack is empty")
+        return self._stack.pop()
+
+    def peek(self) -> Optional[Tuple[str, Any]]:
+        """The top entry without removing it (None when empty)."""
+        return self._stack[-1] if self._stack else None
+
+    def address_for(self, protocol: str) -> Any:
+        """The address pushed by ``protocol`` (KeyError if absent)."""
+        for proto, addr in reversed(self._stack):
+            if proto == protocol:
+                return addr
+        raise KeyError(f"no {protocol!r} address in participant")
+
+    def __contains__(self, protocol: str) -> bool:
+        return any(proto == protocol for proto, _ in self._stack)
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __iter__(self) -> Iterator[Tuple[str, Any]]:
+        return iter(self._stack)
+
+    def copy(self) -> "Participant":
+        """An independent copy (opens must not mutate callers' stacks)."""
+        return Participant(self._stack)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Participant) and \
+            other._stack == self._stack
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = "/".join(f"{p}:{a}" for p, a in self._stack)
+        return f"<Participant {inner}>"
+
+
+class ParticipantList:
+    """The endpoints of a session: remote first, then local, then extras.
+
+    This mirrors the x-kernel calling convention for ``open``: the first
+    participant names who you are talking *to*, the second (optional) who
+    you are talking *as*.
+    """
+
+    def __init__(self, remote: Participant,
+                 local: Optional[Participant] = None,
+                 *extras: Participant):
+        self.participants: List[Participant] = [remote]
+        if local is not None:
+            self.participants.append(local)
+        self.participants.extend(extras)
+
+    @property
+    def remote(self) -> Participant:
+        """The peer endpoint."""
+        return self.participants[0]
+
+    @property
+    def local(self) -> Optional[Participant]:
+        """Our endpoint, when specified."""
+        return self.participants[1] if len(self.participants) > 1 else None
+
+    def __len__(self) -> int:
+        return len(self.participants)
+
+    def __iter__(self) -> Iterator[Participant]:
+        return iter(self.participants)
+
+    @classmethod
+    def for_tcp(cls, remote_ip: str, remote_port: int,
+                local_ip: str = "", local_port: int = 0) -> "ParticipantList":
+        """Convenience constructor for the common TCP/IP endpoint shape."""
+        remote = Participant().push("ip", remote_ip).push("tcp", remote_port)
+        if local_ip or local_port:
+            local = Participant().push("ip", local_ip).push("tcp",
+                                                            local_port)
+            return cls(remote, local)
+        return cls(remote)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ParticipantList {self.participants!r}>"

@@ -1,0 +1,58 @@
+"""Network substrate: the testbed's wires and protocols.
+
+This package supplies what the paper's machine room supplied: Ethernet
+frames, IP datagrams and TCP segments (:mod:`repro.net.packet`), the
+100 Mbps links, hub and switch of Figure 7 (:mod:`repro.net.link`), the
+addressing helpers for the trusted/untrusted subnet split
+(:mod:`repro.net.addressing`), and a reusable TCP state machine
+(:mod:`repro.net.tcp`) shared by the Scout TCP module, the Linux baseline,
+and the client hosts.
+"""
+
+from repro.net.addressing import MacAddr, Subnet, ip_to_int, int_to_ip
+from repro.net.packet import (
+    ETH_HEADER,
+    IP_HEADER,
+    TCP_HEADER,
+    ETH_MTU,
+    TCP_MSS,
+    EthFrame,
+    ArpPacket,
+    IPDatagram,
+    TCPSegment,
+    FLAG_SYN,
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_RST,
+)
+from repro.net.link import Link, Hub, Switch, NIC
+from repro.net.fault import FaultInjector
+from repro.net.tcp import TCPEngine, TCPActions, TcpState
+
+__all__ = [
+    "MacAddr",
+    "Subnet",
+    "ip_to_int",
+    "int_to_ip",
+    "ETH_HEADER",
+    "IP_HEADER",
+    "TCP_HEADER",
+    "ETH_MTU",
+    "TCP_MSS",
+    "EthFrame",
+    "ArpPacket",
+    "IPDatagram",
+    "TCPSegment",
+    "FLAG_SYN",
+    "FLAG_ACK",
+    "FLAG_FIN",
+    "FLAG_RST",
+    "Link",
+    "Hub",
+    "Switch",
+    "NIC",
+    "FaultInjector",
+    "TCPEngine",
+    "TCPActions",
+    "TcpState",
+]

@@ -1,0 +1,86 @@
+"""IP and MAC addressing helpers.
+
+The SYN-flood policy distinguishes a *trusted* and an *untrusted* part of
+the Internet (paper section 4.4.1); :class:`Subnet` is the prefix-matching
+primitive that policy is written against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def ip_to_int(addr: str) -> int:
+    """Dotted-quad string to 32-bit integer."""
+    parts = addr.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address: {addr!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad IPv4 address: {addr!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """32-bit integer to dotted-quad string."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 value out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class Subnet:
+    """An IPv4 prefix, e.g. ``Subnet("10.1.0.0/16")``."""
+
+    def __init__(self, cidr: str):
+        try:
+            base, prefix_s = cidr.split("/")
+        except ValueError:
+            raise ValueError(f"bad CIDR: {cidr!r}") from None
+        self.prefix_len = int(prefix_s)
+        if not 0 <= self.prefix_len <= 32:
+            raise ValueError(f"bad prefix length in {cidr!r}")
+        self.mask = 0 if self.prefix_len == 0 else (
+            0xFFFFFFFF << (32 - self.prefix_len)) & 0xFFFFFFFF
+        self.base = ip_to_int(base) & self.mask
+        self.cidr = cidr
+
+    def contains(self, addr: str) -> bool:
+        return (ip_to_int(addr) & self.mask) == self.base
+
+    def hosts(self, count: int, start: int = 1) -> Iterator[str]:
+        """Yield ``count`` host addresses inside the subnet."""
+        for i in range(start, start + count):
+            yield int_to_ip(self.base + i)
+
+    def __contains__(self, addr: str) -> bool:
+        return self.contains(addr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Subnet({self.cidr!r})"
+
+
+class MacAddr:
+    """A link-layer address; simulation-local, so just a small integer."""
+
+    _next = 1
+
+    def __init__(self, label: str = ""):
+        self.value = MacAddr._next
+        MacAddr._next += 1
+        self.label = label or f"mac-{self.value}"
+
+    def __hash__(self) -> int:
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MacAddr) and other.value == self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.label}>"
+
+
+#: The broadcast link-layer address.
+BROADCAST = MacAddr("broadcast")

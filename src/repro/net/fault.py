@@ -1,0 +1,81 @@
+"""Network fault injection.
+
+Wraps any :class:`~repro.net.link.Medium` and perturbs traffic passing
+through it: probabilistic drops, duplication, and extra delay, all driven
+by a seeded RNG so failures are reproducible.  Used by the failure-
+injection tests to verify that the full server stack — demux, paths, the
+TCP module, teardown — survives a misbehaving network, and that the
+accounting invariants hold even when packets are lost or arrive twice.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.net.link import Medium, NIC
+from repro.net.packet import EthFrame
+
+
+class FaultInjector(Medium):
+    """A lossy/duplicating/delaying shim in front of a real medium.
+
+    Attach NICs to the injector instead of the medium; the injector
+    forwards (or mangles) transmissions into the wrapped medium.
+    """
+
+    def __init__(self, sim, inner: Medium,
+                 drop_probability: float = 0.0,
+                 duplicate_probability: float = 0.0,
+                 extra_delay_ticks: int = 0,
+                 delay_probability: float = 0.0,
+                 seed: int = 0):
+        for p in (drop_probability, duplicate_probability,
+                  delay_probability):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must be in [0, 1]")
+        if extra_delay_ticks < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.inner = inner
+        self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+        self.extra_delay_ticks = extra_delay_ticks
+        self.delay_probability = delay_probability
+        self.rng = random.Random(seed)
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.forwarded = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, nic: NIC) -> None:
+        """Attach a NIC: it sends through the injector into the medium."""
+        self.inner.attach(nic)
+        nic.medium = self  # interpose on the send side only
+
+    def transmit(self, frame: EthFrame, sender: NIC) -> None:
+        """Forward ``frame``, possibly dropping/duplicating/delaying it."""
+        if self.rng.random() < self.drop_probability:
+            self.dropped += 1
+            return
+        copies = 1
+        if self.rng.random() < self.duplicate_probability:
+            self.duplicated += 1
+            copies = 2
+        for _ in range(copies):
+            if self.extra_delay_ticks and \
+                    self.rng.random() < self.delay_probability:
+                self.delayed += 1
+                self.sim.schedule(
+                    self.extra_delay_ticks,
+                    lambda f=frame, s=sender: self.inner.transmit(f, s))
+            else:
+                self.forwarded += 1
+                self.inner.transmit(frame, sender)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Injection counters (for assertions and reports)."""
+        return {"dropped": self.dropped, "duplicated": self.duplicated,
+                "delayed": self.delayed, "forwarded": self.forwarded}

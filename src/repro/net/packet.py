@@ -1,0 +1,150 @@
+"""Packet formats.
+
+Payload *contents* are simulated — a packet carries byte counts plus an
+optional application object (an HTTP request, say) — but sizes, headers and
+the information protocols actually switch on (addresses, ports, sequence
+numbers, flags) are real, because the experiments depend on them: wire
+sizes set serialization delay on the 100 Mbps Ethernet, the MSS drives the
+10 KB document's congestion-control behaviour, and demux switches on the
+header fields.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+#: Ethernet header + CRC bytes on the wire.
+ETH_HEADER = 18
+#: Minimal IPv4 header.
+IP_HEADER = 20
+#: Minimal TCP header.
+TCP_HEADER = 20
+#: Ethernet payload MTU (the paper quotes 1460 as the usable TCP MSS).
+ETH_MTU = 1500
+#: TCP maximum segment size = MTU - IP - TCP headers.
+TCP_MSS = ETH_MTU - IP_HEADER - TCP_HEADER
+
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+IPPROTO_TCP = 6
+
+FLAG_SYN = 0x1
+FLAG_ACK = 0x2
+FLAG_FIN = 0x4
+FLAG_RST = 0x8
+
+
+def flag_names(flags: int) -> str:
+    """Human-readable TCP flag set, e.g. ``"SYN|ACK"``."""
+    names = []
+    if flags & FLAG_SYN:
+        names.append("SYN")
+    if flags & FLAG_ACK:
+        names.append("ACK")
+    if flags & FLAG_FIN:
+        names.append("FIN")
+    if flags & FLAG_RST:
+        names.append("RST")
+    return "|".join(names) or "-"
+
+
+class TCPSegment:
+    """A TCP segment: real header fields, simulated payload."""
+
+    __slots__ = ("src_port", "dst_port", "seq", "ack", "flags",
+                 "payload_len", "app_data")
+
+    def __init__(self, src_port: int, dst_port: int, seq: int, ack: int,
+                 flags: int, payload_len: int = 0, app_data: Any = None):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.payload_len = payload_len
+        self.app_data = app_data
+
+    @property
+    def size(self) -> int:
+        return TCP_HEADER + self.payload_len
+
+    @property
+    def seq_span(self) -> int:
+        """Sequence-number space consumed (payload plus SYN/FIN)."""
+        span = self.payload_len
+        if self.flags & FLAG_SYN:
+            span += 1
+        if self.flags & FLAG_FIN:
+            span += 1
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TCP {self.src_port}->{self.dst_port} "
+                f"{flag_names(self.flags)} seq={self.seq} ack={self.ack} "
+                f"len={self.payload_len}>")
+
+
+class IPDatagram:
+    """An IPv4 datagram wrapping a transport payload."""
+
+    __slots__ = ("src_ip", "dst_ip", "proto", "payload")
+
+    def __init__(self, src_ip: str, dst_ip: str, proto: int, payload: Any):
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.proto = proto
+        self.payload = payload
+
+    @property
+    def size(self) -> int:
+        inner = getattr(self.payload, "size", 0)
+        return IP_HEADER + inner
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<IP {self.src_ip}->{self.dst_ip} {self.payload!r}>"
+
+
+class ArpPacket:
+    """ARP request/reply."""
+
+    __slots__ = ("op", "sender_ip", "sender_mac", "target_ip", "target_mac")
+
+    REQUEST = 1
+    REPLY = 2
+
+    def __init__(self, op: int, sender_ip: str, sender_mac,
+                 target_ip: str, target_mac=None):
+        self.op = op
+        self.sender_ip = sender_ip
+        self.sender_mac = sender_mac
+        self.target_ip = target_ip
+        self.target_mac = target_mac
+
+    @property
+    def size(self) -> int:
+        return 28
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "REQ" if self.op == self.REQUEST else "REPLY"
+        return f"<ARP {kind} {self.sender_ip}->{self.target_ip}>"
+
+
+class EthFrame:
+    """An Ethernet frame; ``wire_size`` drives serialization delay."""
+
+    __slots__ = ("src_mac", "dst_mac", "ethertype", "payload")
+
+    def __init__(self, src_mac, dst_mac, ethertype: int, payload: Any):
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.ethertype = ethertype
+        self.payload = payload
+
+    @property
+    def wire_size(self) -> int:
+        inner = getattr(self.payload, "size", 0)
+        return max(64, ETH_HEADER + inner)  # minimum Ethernet frame
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Eth {self.src_mac!r}->{self.dst_mac!r} {self.payload!r}>"

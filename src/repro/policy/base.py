@@ -1,0 +1,30 @@
+"""Policy interface.
+
+Policies configure mechanisms; they are applied to a server either before
+boot (``listen_specs`` shape the passive paths HTTP creates) or after
+construction (``apply`` sets kernel/module knobs).  Escort's four
+enforcement levels — ACL, module graph, paths, filters — are all reachable
+from here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.modules.http import ListenSpec
+    from repro.server.webserver import ScoutWebServer
+
+
+class Policy:
+    """Base policy: no-op."""
+
+    def listen_specs(self) -> Optional[List["ListenSpec"]]:
+        """Passive-path layout this policy requires, or None."""
+        return None
+
+    def apply(self, server: "ScoutWebServer") -> None:
+        """Configure the server's mechanisms."""
+
+    def describe(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,57 @@
+"""The memory-quota policy: detection for memory-shaped attacks.
+
+The paper's distributed-file-system example (section 1) is about resources
+that outlive their consumer — cached blocks, device buffers, connection
+state.  In Escort all of those are charged to the owning path, which makes
+a simple policy possible: bound what one connection may hold, and kill
+(and thereby fully reclaim) any connection that exceeds the bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.quota import ResourceQuota
+from repro.policy.base import Policy
+from repro.sim.clock import millis_to_ticks
+from repro.sim.cpu import Cycles
+
+SWEEP_COST_CYCLES = 600
+
+
+class MemoryQuotaPolicy(Policy):
+    """Bound each connection path's memory footprint."""
+
+    def __init__(self, max_pages: Optional[int] = 16,
+                 max_kmem: Optional[int] = 256 * 1024,
+                 max_heap_bytes: Optional[int] = 64 * 1024,
+                 sweep_ms: float = 10.0):
+        self.quota = ResourceQuota(max_pages=max_pages,
+                                   max_kmem=max_kmem,
+                                   max_heap_bytes=max_heap_bytes)
+        self.sweep_ms = sweep_ms
+        self._server = None
+
+    def apply(self, server) -> None:
+        self._server = server
+        server.tcp.active_path_quota = self.quota
+        kernel = server.kernel
+
+        def sweep_body():
+            yield Cycles(SWEEP_COST_CYCLES)
+            kernel.quotas.sweep(list(server.tcp.conn_table.values()))
+
+        kernel.create_event(kernel.kernel_owner, sweep_body,
+                            delay_ticks=millis_to_ticks(self.sweep_ms),
+                            periodic=True, name="quota-sweep")
+
+    # ------------------------------------------------------------------
+    def violations(self):
+        if self._server is None:
+            return []
+        return list(self._server.kernel.quotas.violations)
+
+    def describe(self) -> str:
+        q = self.quota
+        return (f"MemoryQuotaPolicy(pages<={q.max_pages}, "
+                f"kmem<={q.max_kmem}, heap<={q.max_heap_bytes})")

@@ -1,0 +1,17 @@
+"""Web-server build configurations (paper section 4.1.1).
+
+:class:`~repro.server.webserver.ScoutWebServer` assembles the Figure 1
+module graph over an Escort kernel.  The three Scout-based configurations
+the paper measures differ only in two kernel switches:
+
+* **Scout** — no accounting, single protection domain;
+* **Accounting** — accounting on, single protection domain;
+* **Accounting_PD** — accounting on, one protection domain per module
+  (Figure 3, the worst case).
+
+The Linux/Apache baseline lives in :mod:`repro.linux`.
+"""
+
+from repro.server.webserver import ScoutWebServer, DEFAULT_DOCUMENTS
+
+__all__ = ["ScoutWebServer", "DEFAULT_DOCUMENTS"]

@@ -1,0 +1,70 @@
+"""Simulated time units.
+
+All simulation time is kept in integer *ticks* to make event ordering and
+cycle accounting exact (no floating-point drift).  One tick is 1/600,000,000
+of a second, chosen so that every clock in the paper's testbed divides it
+evenly:
+
+* the server's 300 MHz Alpha 21064 cycle is exactly 2 ticks,
+* the clients' 200 MHz PentiumPro cycle is exactly 3 ticks,
+* one bit on the 100 Mbps Ethernet takes exactly 6 ticks.
+
+Helpers convert between human units (seconds/milliseconds/microseconds),
+server CPU cycles, and ticks.  Conversions from seconds round to the nearest
+tick; cycle conversions are exact by construction.
+"""
+
+from __future__ import annotations
+
+#: Number of simulation ticks per simulated second.
+TICKS_PER_SECOND = 600_000_000
+
+#: Clock rate of the simulated web-server CPU (300 MHz AlphaPC 21064).
+SERVER_CYCLE_HZ = 300_000_000
+
+#: Ticks per server CPU cycle (exact: 600 MHz / 300 MHz).
+SERVER_TICKS_PER_CYCLE = TICKS_PER_SECOND // SERVER_CYCLE_HZ
+
+#: Clock rate of the simulated client CPUs (200 MHz PentiumPro).
+CLIENT_CYCLE_HZ = 200_000_000
+
+#: Ticks per client CPU cycle (exact: 600 MHz / 200 MHz).
+CLIENT_TICKS_PER_CYCLE = TICKS_PER_SECOND // CLIENT_CYCLE_HZ
+
+#: Ticks needed to serialize one bit onto the 100 Mbps Ethernet.
+TICKS_PER_ETHERNET_BIT = TICKS_PER_SECOND // 100_000_000
+
+
+def seconds_to_ticks(s: float) -> int:
+    """Convert seconds to ticks, rounding to the nearest tick."""
+    return round(s * TICKS_PER_SECOND)
+
+
+def millis_to_ticks(ms: float) -> int:
+    """Convert milliseconds to ticks, rounding to the nearest tick."""
+    return round(ms * (TICKS_PER_SECOND / 1_000))
+
+
+def micros_to_ticks(us: float) -> int:
+    """Convert microseconds to ticks, rounding to the nearest tick."""
+    return round(us * (TICKS_PER_SECOND / 1_000_000))
+
+
+def ticks_to_seconds(ticks: int) -> float:
+    """Convert ticks to (floating point) seconds."""
+    return ticks / TICKS_PER_SECOND
+
+
+def server_cycles_to_ticks(cycles: int) -> int:
+    """Convert server CPU cycles to ticks (exact)."""
+    return cycles * SERVER_TICKS_PER_CYCLE
+
+
+def ticks_to_server_cycles(ticks: int) -> int:
+    """Convert ticks to server CPU cycles, rounding up to a whole cycle.
+
+    Rounding up matches how a real CPU charges time: a partial cycle still
+    occupies the pipeline for the full cycle.
+    """
+    q, r = divmod(ticks, SERVER_TICKS_PER_CYCLE)
+    return q + (1 if r else 0)

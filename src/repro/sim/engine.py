@@ -1,0 +1,135 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` owns the virtual clock and a priority queue of pending
+:class:`Event` objects.  Everything in the reproduction — packet arrivals,
+CPU burst completions, softclock ticks, TCP retransmission timers — is an
+event scheduled here.
+
+Events are cancellable: cancelling marks the event dead and the main loop
+skips it when popped (lazy deletion, the standard trick for heap-backed
+simulators).  Ties in time are broken by insertion order, which keeps runs
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Created through :meth:`Simulator.schedule` / :meth:`Simulator.at`; user
+    code only ever needs :meth:`cancel` and :attr:`time`.
+    """
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will never fire."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq}{state}>"
+
+
+class Simulator:
+    """Virtual clock plus event queue.
+
+    The clock unit is the integer *tick* defined in :mod:`repro.sim.clock`.
+    A single Simulator instance is shared by every component of a testbed
+    (server, clients, links); components keep a reference to it and schedule
+    their own events.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[Event] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` ticks from now.
+
+        ``delay`` must be non-negative; zero-delay events run after all
+        events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self.now + delay, fn)
+
+    def at(self, time: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at an absolute tick ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        ev = Event(time, self._seq, fn)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            self._events_processed += 1
+            ev.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the queue drains earlier, so measurement windows have a
+        well-defined end time.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        while self._queue:
+            ev = self._queue[0]
+            if ev.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if ev.time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = ev.time
+            self._events_processed += 1
+            ev.fn()
+        if self.now < until:
+            self.now = until
+
+    def run_for(self, duration: int) -> None:
+        """Run for ``duration`` ticks from the current time."""
+        self.run(until=self.now + duration)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far (for engine diagnostics)."""
+        return self._events_processed
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)

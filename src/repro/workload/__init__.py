@@ -1,0 +1,30 @@
+"""Client and attacker workloads (paper section 4.1.2).
+
+* :class:`~repro.workload.clients.HttpClient` — a regular client issuing a
+  serial stream of requests for one document;
+* :class:`~repro.workload.qos.QosReceiver` — the receiver of the 1 MBps
+  guaranteed-bandwidth TCP stream;
+* :class:`~repro.workload.syn_attacker.SynAttacker` — 1000 spoofed SYNs
+  per second from the untrusted subnet;
+* :class:`~repro.workload.cgi_attacker.CgiAttacker` — one GET per second
+  for an infinite-loop CGI script.
+
+All run on simulated client machines: no CPU model (the paper sized the
+testbed so clients are never the bottleneck), but realistic per-request
+overhead and per-packet turnaround latency, plus an era-faithful TCP with
+delayed ACKs.
+"""
+
+from repro.workload.stats import WorkloadStats
+from repro.workload.clients import HttpClient
+from repro.workload.qos import QosReceiver
+from repro.workload.syn_attacker import SynAttacker
+from repro.workload.cgi_attacker import CgiAttacker
+
+__all__ = [
+    "WorkloadStats",
+    "HttpClient",
+    "QosReceiver",
+    "SynAttacker",
+    "CgiAttacker",
+]

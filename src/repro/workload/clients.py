@@ -1,0 +1,252 @@
+"""Client machines.
+
+:class:`ClientHost` is the shared substrate: a NIC, a static ARP map, and
+per-connection TCP engines whose timers run on the simulator.  Clients have
+no CPU model — the paper provisioned one PentiumPro per client process so
+the clients are never the bottleneck — but they do pay a per-request
+overhead (process wakeup, socket setup) and a per-packet turnaround delay,
+both of which shape the sub-saturation region of Figure 8.
+
+:class:`HttpClient` is the paper's "Client" load: a serial loop fetching
+one document over and over.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.sim.costs import CostModel
+from repro.sim.engine import Simulator
+from repro.net.addressing import MacAddr
+from repro.net.link import NIC
+from repro.net.packet import (
+    ETHERTYPE_IP,
+    EthFrame,
+    IPDatagram,
+    IPPROTO_TCP,
+    TCPSegment,
+)
+from repro.net.tcp import TCPActions, TCPEngine
+from repro.workload.stats import WorkloadStats
+
+
+class ClientConnection:
+    """One TCP connection from a client host, timers included."""
+
+    def __init__(self, host: "ClientHost", remote_ip: str, remote_port: int,
+                 local_port: int, delayed_ack_ticks: int = 0):
+        self.host = host
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.local_port = local_port
+        self.on_deliver: Optional[Callable[[int, Any], None]] = None
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_fin: Optional[Callable[[], None]] = None
+        self.on_closed: Optional[Callable[[bool], None]] = None
+        self._rto_ev = None
+        self._delack_ev = None
+        self._done = False
+        self.engine, actions = TCPEngine.active_open(
+            host.ip, local_port, remote_ip, remote_port,
+            delayed_ack_ticks=delayed_ack_ticks)
+        self.apply(actions)
+
+    # ------------------------------------------------------------------
+    def apply(self, actions: TCPActions) -> None:
+        sim = self.host.sim
+        for seg in actions.segments:
+            self.host.send_segment(self.remote_ip, seg)
+        for nbytes, data in actions.deliveries:
+            if self.on_deliver is not None:
+                self.on_deliver(nbytes, data)
+        if actions.established and self.on_established is not None:
+            self.on_established()
+        if actions.fin_received and self.on_fin is not None:
+            self.on_fin()
+        if actions.cancel_rto and self._rto_ev is not None:
+            self._rto_ev.cancel()
+            self._rto_ev = None
+        if actions.set_rto is not None:
+            if self._rto_ev is not None:
+                self._rto_ev.cancel()
+            self._rto_ev = sim.schedule(
+                actions.set_rto, lambda: self.apply(self.engine.on_rto()))
+        if actions.cancel_delack and self._delack_ev is not None:
+            self._delack_ev.cancel()
+            self._delack_ev = None
+        if actions.set_delack is not None:
+            if self._delack_ev is not None:
+                self._delack_ev.cancel()
+            self._delack_ev = sim.schedule(
+                actions.set_delack,
+                lambda: self.apply(self.engine.on_delack()))
+        if actions.closed and not self._done:
+            self._done = True
+            self._cancel_timers()
+            self.host.forget(self)
+            if self.on_closed is not None:
+                self.on_closed(actions.aborted)
+
+    def _cancel_timers(self) -> None:
+        for ev in (self._rto_ev, self._delack_ev):
+            if ev is not None:
+                ev.cancel()
+        self._rto_ev = self._delack_ev = None
+
+    # ------------------------------------------------------------------
+    def receive(self, seg: TCPSegment) -> None:
+        if not self._done:
+            self.apply(self.engine.on_segment(seg))
+
+    def send(self, nbytes: int, app_data: Any = None,
+             fin: bool = False) -> None:
+        self.apply(self.engine.send(nbytes, app_data=app_data, fin=fin))
+
+    def close(self) -> None:
+        self.apply(self.engine.close())
+
+    def abort(self) -> None:
+        self.apply(self.engine.abort())
+
+
+class ClientHost:
+    """A simulated client machine (200 MHz PentiumPro running Linux)."""
+
+    def __init__(self, sim: Simulator, ip: str,
+                 costs: Optional[CostModel] = None,
+                 stats: Optional[WorkloadStats] = None,
+                 label: str = ""):
+        self.sim = sim
+        self.ip = ip
+        self.costs = costs or CostModel.default()
+        self.stats = stats or WorkloadStats()
+        self.nic = NIC(sim, label=label or f"host-{ip}")
+        self.nic.on_receive = self._on_frame
+        self.arp_map: Dict[str, MacAddr] = {}
+        self._conns: Dict[Tuple[int, str, int], ClientConnection] = {}
+        self._next_port = 10_000
+        self.rng = random.Random(ip)
+
+    # ------------------------------------------------------------------
+    def attach(self, medium) -> None:
+        medium.attach(self.nic)
+
+    def learn(self, ip: str, mac: MacAddr) -> None:
+        self.arp_map[ip] = mac
+
+    def alloc_port(self) -> int:
+        self._next_port += 1
+        return self._next_port
+
+    # ------------------------------------------------------------------
+    def connect(self, remote_ip: str, remote_port: int,
+                delayed_ack_ticks: int = 0) -> ClientConnection:
+        conn = ClientConnection(self, remote_ip, remote_port,
+                                self.alloc_port(),
+                                delayed_ack_ticks=delayed_ack_ticks)
+        key = (conn.local_port, remote_ip, remote_port)
+        self._conns[key] = conn
+        return conn
+
+    def forget(self, conn: ClientConnection) -> None:
+        key = (conn.local_port, conn.remote_ip, conn.remote_port)
+        self._conns.pop(key, None)
+
+    # ------------------------------------------------------------------
+    def send_segment(self, dst_ip: str, seg: TCPSegment) -> None:
+        mac = self.arp_map.get(dst_ip)
+        if mac is None:
+            return  # unresolvable: drop (testbeds always pre-seed)
+        dgram = IPDatagram(self.ip, dst_ip, IPPROTO_TCP, seg)
+        frame = EthFrame(self.nic.mac, mac, ETHERTYPE_IP, dgram)
+        # Client-side turnaround: the process takes a moment to respond.
+        self.sim.schedule(self.costs.client_turnaround_ticks,
+                          lambda: self.nic.send(frame))
+
+    def _on_frame(self, frame: EthFrame) -> None:
+        dgram = frame.payload
+        if not isinstance(dgram, IPDatagram) or dgram.dst_ip != self.ip:
+            return
+        seg = dgram.payload
+        if not isinstance(seg, TCPSegment):
+            return
+        key = (seg.dst_port, dgram.src_ip, seg.src_port)
+        conn = self._conns.get(key)
+        if conn is not None:
+            conn.receive(seg)
+
+    def jittered(self, base_ticks: int, spread: float = 0.2) -> int:
+        """Deterministic per-host jitter to avoid phase lock."""
+        return int(base_ticks * self.rng.uniform(1 - spread, 1 + spread))
+
+
+class HttpClient(ClientHost):
+    """The paper's Client load: serial requests for one document."""
+
+    REQUEST_BYTES = 110
+
+    def __init__(self, sim: Simulator, ip: str, server_ip: str,
+                 document: str, costs: Optional[CostModel] = None,
+                 stats: Optional[WorkloadStats] = None,
+                 stats_class: str = "client"):
+        super().__init__(sim, ip, costs=costs, stats=stats,
+                         label=f"client-{ip}")
+        self.server_ip = server_ip
+        self.document = document
+        self.stats_class = stats_class
+        self.requests_started = 0
+        self.requests_completed = 0
+        self.requests_failed = 0
+        self.bytes_received = 0
+        #: Response size of each completed request (header + body).
+        self.response_sizes: list = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the serial request loop."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(
+            self.jittered(self.costs.client_request_overhead_ticks, 1.0),
+            self._begin_request)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _begin_request(self) -> None:
+        if not self._running:
+            return
+        self.requests_started += 1
+        from repro.modules.http import HTTPRequest  # avoid import cycle
+        conn = self.connect(self.server_ip, 80,
+                            delayed_ack_ticks=self.costs.client_delayed_ack_ticks)
+        got = {"bytes": 0}
+
+        conn.on_established = lambda: conn.send(
+            self.REQUEST_BYTES, app_data=HTTPRequest("GET", self.document))
+
+        def deliver(nbytes: int, _data) -> None:
+            got["bytes"] += nbytes
+            self.bytes_received += nbytes
+
+        conn.on_deliver = deliver
+        conn.on_fin = conn.close
+
+        def closed(aborted: bool) -> None:
+            if aborted or got["bytes"] == 0:
+                self.requests_failed += 1
+                self.stats.fail(self.stats_class)
+            else:
+                self.requests_completed += 1
+                self.response_sizes.append(got["bytes"])
+                self.stats.complete(self.stats_class, self.sim.now)
+            if self._running:
+                self.sim.schedule(
+                    self.jittered(self.costs.client_request_overhead_ticks),
+                    self._begin_request)
+
+        conn.on_closed = closed

@@ -1,0 +1,106 @@
+"""Workload mix generation.
+
+The paper's clients each fetch one fixed document (that isolates the
+variable under study).  Real web traffic is a popularity distribution over
+a corpus; this module generates that kind of mix so the examples and
+robustness tests can run the server against something messier than the
+calibration workloads:
+
+* a document corpus with Zipf-distributed sizes and popularity (the
+  classic web-traffic observation from the era's traces);
+* a client population whose requests sample that distribution;
+* an optional fraction of CGI requests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.workload.clients import HttpClient
+
+
+def zipf_weights(n: int, alpha: float = 1.0) -> List[float]:
+    """Normalized Zipf weights for ranks 1..n."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    raw = [1.0 / (rank ** alpha) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def make_corpus(n_documents: int = 50, seed: int = 7,
+                min_bytes: int = 128,
+                max_bytes: int = 64 * 1024) -> Dict[str, int]:
+    """A document corpus with heavy-tailed sizes.
+
+    Rank-1 documents are small (index pages); the tail holds the large
+    objects — matching the era's server traces closely enough for load
+    testing.
+    """
+    rng = random.Random(seed)
+    corpus: Dict[str, int] = {}
+    for rank in range(1, n_documents + 1):
+        base = min_bytes * rank
+        jitter = rng.uniform(0.5, 2.0)
+        size = max(min_bytes, min(max_bytes, int(base * jitter)))
+        corpus[f"/site/page-{rank:03d}"] = size
+    return corpus
+
+
+class MixedWorkloadClient(HttpClient):
+    """A client that samples its document per request from a mix."""
+
+    def __init__(self, sim, ip, server_ip, documents: Sequence[str],
+                 weights: Sequence[float], seed: int = 0,
+                 cgi_fraction: float = 0.0, cgi_uri: str = "/cgi-bin/busy",
+                 **kwargs):
+        super().__init__(sim, ip, server_ip, documents[0], **kwargs)
+        if len(documents) != len(weights):
+            raise ValueError("documents and weights must align")
+        if not 0.0 <= cgi_fraction <= 1.0:
+            raise ValueError("cgi_fraction must be in [0, 1]")
+        self._documents = list(documents)
+        self._weights = list(weights)
+        self._mix_rng = random.Random(f"{ip}/{seed}")
+        self.cgi_fraction = cgi_fraction
+        self.cgi_uri = cgi_uri
+        self.per_document_counts: Dict[str, int] = {}
+
+    def _begin_request(self) -> None:
+        if self._mix_rng.random() < self.cgi_fraction:
+            self.document = self.cgi_uri
+        else:
+            self.document = self._mix_rng.choices(
+                self._documents, weights=self._weights, k=1)[0]
+        self.per_document_counts[self.document] = \
+            self.per_document_counts.get(self.document, 0) + 1
+        super()._begin_request()
+
+
+def add_mixed_clients(testbed, count: int,
+                      corpus: Optional[Dict[str, int]] = None,
+                      alpha: float = 1.0, seed: int = 7,
+                      cgi_fraction: float = 0.0) -> List[MixedWorkloadClient]:
+    """Attach ``count`` mixed-workload clients to a Testbed.
+
+    Installs the corpus into the server's FS (documents must exist before
+    they can be fetched) and wires the clients like ``add_clients`` does.
+    """
+    corpus = corpus or make_corpus(seed=seed)
+    for uri, size in corpus.items():
+        if uri not in testbed.server.fs.documents:
+            testbed.server.fs.add_document(uri, size)
+    documents = sorted(corpus)
+    weights = zipf_weights(len(documents), alpha=alpha)
+    added = []
+    for i in range(count):
+        ip = f"10.1.3.{i + 1}"
+        client = MixedWorkloadClient(
+            testbed.sim, ip, testbed.server.ip, documents, weights,
+            seed=seed, cgi_fraction=cgi_fraction,
+            costs=testbed.costs, stats=testbed.stats)
+        testbed._wire(client, testbed.switch)
+        testbed.clients.append(client)
+        added.append(client)
+    return added

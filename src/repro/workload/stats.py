@@ -1,0 +1,73 @@
+"""Workload measurement: completions, rates, QoS windows.
+
+The paper reports ten-second averages measured after the load has run for
+a warmup period; :class:`WorkloadStats` supports exactly that: every event
+is timestamped, and rates are computed over an arbitrary window.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.clock import TICKS_PER_SECOND
+
+
+class WorkloadStats:
+    """Timestamped event log per workload class."""
+
+    def __init__(self) -> None:
+        #: class -> sorted list of completion ticks.
+        self._completions: Dict[str, List[int]] = {}
+        #: class -> list of (tick, nbytes) for byte streams.
+        self._bytes: Dict[str, List[Tuple[int, int]]] = {}
+        self.failures: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def complete(self, cls: str, tick: int) -> None:
+        self._completions.setdefault(cls, []).append(tick)
+
+    def add_bytes(self, cls: str, tick: int, nbytes: int) -> None:
+        self._bytes.setdefault(cls, []).append((tick, nbytes))
+
+    def fail(self, cls: str) -> None:
+        self.failures[cls] = self.failures.get(cls, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def completions_in(self, cls: str, start: int, end: int) -> int:
+        ticks = self._completions.get(cls, [])
+        return bisect_right(ticks, end) - bisect_left(ticks, start)
+
+    def rate_per_second(self, cls: str, start: int, end: int) -> float:
+        """Completions per second of ``cls`` in the window [start, end]."""
+        if end <= start:
+            return 0.0
+        count = self.completions_in(cls, start, end)
+        return count * TICKS_PER_SECOND / (end - start)
+
+    def bytes_in(self, cls: str, start: int, end: int) -> int:
+        return sum(n for t, n in self._bytes.get(cls, [])
+                   if start <= t <= end)
+
+    def bandwidth_bps(self, cls: str, start: int, end: int) -> float:
+        """Bytes per second of ``cls`` in the window [start, end]."""
+        if end <= start:
+            return 0.0
+        return self.bytes_in(cls, start, end) * TICKS_PER_SECOND / (end - start)
+
+    def windowed_bandwidth(self, cls: str, start: int, end: int,
+                           window_ticks: int) -> List[float]:
+        """Per-window bandwidths (the paper's ten-second averages)."""
+        out = []
+        t = start
+        while t + window_ticks <= end:
+            out.append(self.bandwidth_bps(cls, t, t + window_ticks))
+            t += window_ticks
+        return out
+
+    def total(self, cls: str) -> int:
+        return len(self._completions.get(cls, []))

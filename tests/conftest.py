@@ -1,0 +1,34 @@
+"""Shared fixtures for the Escort reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.kernel.kernel import Kernel, KernelConfig
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def kernel(sim: Simulator) -> Kernel:
+    """An accounting-enabled kernel without protection domains."""
+    return Kernel(sim, KernelConfig(accounting=True,
+                                    protection_domains=False))
+
+
+@pytest.fixture
+def pd_kernel(sim: Simulator) -> Kernel:
+    """An accounting kernel with protection domains enforced."""
+    return Kernel(sim, KernelConfig(accounting=True,
+                                    protection_domains=True))
+
+
+@pytest.fixture
+def bare_kernel(sim: Simulator) -> Kernel:
+    """A base-Scout kernel: no accounting, no protection domains."""
+    return Kernel(sim, KernelConfig(accounting=False,
+                                    protection_domains=False))

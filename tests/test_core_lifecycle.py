@@ -1,0 +1,186 @@
+"""Unit tests for pathCreate / pathDestroy / pathKill.
+
+Uses the real web-server graph: active paths are created through the same
+machinery the SYN-handling code uses.
+"""
+
+import pytest
+
+from repro.sim.clock import seconds_to_ticks
+from repro.sim.cpu import Cycles
+from repro.core.attributes import Attributes
+from repro.core.lifecycle import PathCreateError
+from repro.net.packet import FLAG_SYN, TCPSegment
+from repro.server.webserver import ScoutWebServer
+
+
+def make_server(sim, pd=False):
+    server = ScoutWebServer(sim, accounting=True, protection_domains=pd)
+    server.boot()
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    return server
+
+
+def active_attrs():
+    syn = TCPSegment(5000, 80, seq=0, ack=0, flags=FLAG_SYN)
+    return Attributes(listen=False, peer_ip="10.1.0.1", peer_port=5000,
+                      local_port=80, syn=syn)
+
+
+def create_path(sim, server, attrs=None, start="tcp"):
+    """Run path_create on a kernel thread and return the path."""
+    out = {}
+
+    def body():
+        path = yield from server.path_manager.path_create(
+            attrs or active_attrs(), start_module=start, name="test-path")
+        out["path"] = path
+
+    server.kernel.spawn_thread(server.kernel.kernel_owner, body())
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    return out["path"]
+
+
+def test_active_path_spans_full_chain(sim):
+    server = make_server(sim)
+    path = create_path(sim, server)
+    names = [s.module.name for s in path.stages]
+    assert names == ["eth", "ip", "tcp", "http", "fs", "scsi"]
+    assert [s.index for s in path.stages] == [0, 1, 2, 3, 4, 5]
+
+
+def test_creation_charged_to_the_new_path(sim):
+    server = make_server(sim)
+    path = create_path(sim, server)
+    assert path.usage.cycles > 0
+    # The creating (kernel) owner is not billed for the path's setup.
+    assert path.usage.cycles >= server.costs.path_create_kernel
+
+
+def test_crossings_map_built_for_adjacent_stages(sim):
+    server = make_server(sim, pd=True)
+    path = create_path(sim, server)
+    for a, b in zip(path.stages, path.stages[1:]):
+        assert (a.module.pd.oid, b.module.pd.oid) in path.allowed_pd_crossings
+        assert (b.module.pd.oid, a.module.pd.oid) in path.allowed_pd_crossings
+
+
+def test_path_registered_in_crossed_domains(sim):
+    server = make_server(sim, pd=True)
+    path = create_path(sim, server)
+    for pd in path.domains_crossed():
+        assert path in pd.crossing_paths
+
+
+def test_demux_binding_created_and_cleaned(sim):
+    server = make_server(sim)
+    path = create_path(sim, server)
+    key = (80, "10.1.0.1", 5000)
+    assert server.tcp.conn_table[key] is path
+    server.path_manager.path_kill(path)
+    assert key not in server.tcp.conn_table
+    for pd in path.domains_crossed():
+        assert path not in pd.crossing_paths
+
+
+def test_path_kill_reclaims_but_skips_destructors(sim):
+    server = make_server(sim)
+    path = create_path(sim, server)
+    ran = []
+    path.destructors.append((server.tcp.pd, lambda p: ran.append("dtor")))
+    report = server.path_manager.path_kill(path)
+    assert path.destroyed
+    assert ran == []                       # pathKill: no destructors
+    assert report.cycles > 0
+    assert path.usage.kmem == 0
+    assert path.heap_allocations == set()  # TCB reclaimed anyway
+
+
+def test_path_destroy_runs_destructors_in_order(sim):
+    server = make_server(sim)
+    path = create_path(sim, server)
+    order = []
+    for stage in path.stages:
+        stage.module_destroyed = False
+    orig_destroys = {}
+    for stage in path.stages:
+        module = stage.module
+        if module.name not in orig_destroys:
+            orig_destroys[module.name] = module.destroy_stage
+            module.destroy_stage = (
+                lambda s, name=module.name, fn=module.destroy_stage:
+                (order.append(name), fn(s)) and None)
+    try:
+        server.path_manager.schedule_destroy(path)
+        sim.run(until=sim.now + seconds_to_ticks(0.1))
+    finally:
+        for name, fn in orig_destroys.items():
+            server.graph.find(name).destroy_stage = fn
+    assert path.destroyed
+    # Destroy functions run in initialization (stage) order.
+    assert order == ["eth", "ip", "tcp", "http", "fs", "scsi"]
+
+
+def test_destroy_waits_for_refcount(sim):
+    server = make_server(sim)
+    path = create_path(sim, server)
+    path.acquire()
+    server.path_manager.schedule_destroy(path)
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert not path.destroyed      # held by the reference
+    path.release()
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert path.destroyed
+
+
+def test_kill_does_not_wait_for_refcount(sim):
+    server = make_server(sim)
+    path = create_path(sim, server)
+    path.acquire()
+    server.path_manager.path_kill(path)
+    assert path.destroyed
+
+
+def test_rejected_path_is_fully_reclaimed(sim):
+    server = make_server(sim)
+    pages_before = server.kernel.allocator.free_pages
+
+    out = {}
+
+    def body():
+        try:
+            yield from server.path_manager.path_create(
+                Attributes(listen=False), start_module="tcp")
+        except Exception as exc:  # missing peer attrs -> KeyError
+            out["error"] = exc
+
+    server.kernel.spawn_thread(server.kernel.kernel_owner, body())
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert "error" in out
+
+
+def test_acl_guards_path_create(sim):
+    # ACL roles apply per protection domain, so the PD configuration is
+    # where they bite (the single privileged domain bypasses them).
+    server = make_server(sim, pd=True)
+    from repro.kernel.acl import Role
+    server.kernel.acl.assign(server.tcp.pd, Role("locked", frozenset()))
+    role = server.kernel.acl.role_for(None, server.tcp.pd)
+    assert not role.permits("path_create")
+
+    from repro.kernel.errors import PermissionError_
+    out = {}
+
+    def body():
+        try:
+            yield from server.path_manager.path_create(
+                active_attrs(), start_module="tcp")
+        except PermissionError_ as exc:
+            out["denied"] = exc
+            return
+        yield Cycles(0)
+
+    server.kernel.spawn_thread(server.http.pd, body())
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert "denied" in out
+    assert server.kernel.acl.denials >= 1

@@ -1,0 +1,175 @@
+"""Unit tests for the PathFinder-style pattern demultiplexer."""
+
+import pytest
+
+from repro.core.demux import DROP, TO_PATH
+from repro.core.patterndemux import (
+    FieldTest,
+    Pattern,
+    PatternDemultiplexer,
+    install_webserver_patterns,
+)
+from repro.net.packet import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IP,
+    EthFrame,
+    FLAG_ACK,
+    FLAG_SYN,
+    IPDatagram,
+    IPPROTO_TCP,
+    TCPSegment,
+)
+from repro.sim.clock import seconds_to_ticks
+from tests.test_core_lifecycle import create_path, make_server
+
+
+class Pkt:
+    def __init__(self, **kwargs):
+        for k, v in kwargs.items():
+            setattr(self, k, v)
+
+
+class FakePath:
+    destroyed = False
+
+
+def test_field_test_exact_match():
+    t = FieldTest("kind", "syn")
+    assert t.matches(Pkt(kind="syn"))
+    assert not t.matches(Pkt(kind="ack"))
+    assert not t.matches(Pkt())  # missing attribute
+
+
+def test_field_test_dotted_path():
+    t = FieldTest("inner.port", 80)
+    assert t.matches(Pkt(inner=Pkt(port=80)))
+    assert not t.matches(Pkt(inner=Pkt(port=23)))
+    assert not t.matches(Pkt(inner=None))
+
+
+def test_field_test_mask():
+    t = FieldTest("flags", FLAG_SYN, mask=FLAG_SYN | FLAG_ACK)
+    assert t.matches(Pkt(flags=FLAG_SYN))
+    assert t.matches(Pkt(flags=FLAG_SYN | 0x8))   # other bits ignored
+    assert not t.matches(Pkt(flags=FLAG_SYN | FLAG_ACK))
+    assert not t.matches(Pkt(flags="notint"))
+
+
+def test_most_specific_pattern_wins(kernel):
+    demux = PatternDemultiplexer(kernel)
+    broad, narrow = FakePath(), FakePath()
+    demux.declare([FieldTest("a", 1)], lambda p: broad, label="broad")
+    demux.declare([FieldTest("a", 1), FieldTest("b", 2)],
+                  lambda p: narrow, label="narrow")
+    result = demux.classify(None, Pkt(a=1, b=2))
+    assert result.path is narrow
+    result = demux.classify(None, Pkt(a=1, b=9))
+    assert result.path is broad
+
+
+def test_guard_can_drop(kernel):
+    demux = PatternDemultiplexer(kernel)
+    path = FakePath()
+    state = {"cap": True}
+    demux.declare([FieldTest("a", 1)], lambda p: path,
+                  guard=lambda p: "capped" if state["cap"] else None)
+    assert demux.classify(None, Pkt(a=1)).kind == DROP
+    state["cap"] = False
+    assert demux.classify(None, Pkt(a=1)).kind == TO_PATH
+
+
+def test_no_match_drops(kernel):
+    demux = PatternDemultiplexer(kernel)
+    result = demux.classify(None, Pkt(a=1))
+    assert result.kind == DROP
+    assert result.reason == "no-pattern"
+
+
+def test_stale_binding_skipped(kernel):
+    demux = PatternDemultiplexer(kernel)
+    dead = FakePath()
+    dead.destroyed = True
+    live = FakePath()
+    demux.declare([FieldTest("a", 1), FieldTest("b", 2)], lambda p: dead)
+    demux.declare([FieldTest("a", 1)], lambda p: live)
+    assert demux.classify(None, Pkt(a=1, b=2)).path is live
+
+
+def test_unregister(kernel):
+    demux = PatternDemultiplexer(kernel)
+    p = demux.declare([FieldTest("a", 1)], lambda _: FakePath())
+    assert len(demux) == 1
+    demux.unregister(p)
+    assert len(demux) == 0
+    demux.unregister(p)  # idempotent
+
+
+def test_never_switches_domains(kernel):
+    demux = PatternDemultiplexer(kernel)
+    demux.declare([FieldTest("a", 1)], lambda p: FakePath())
+    result = demux.classify(None, Pkt(a=1))
+    assert result.domain_switches == 0
+
+
+# ----------------------------------------------------------------------
+# Drop-in replacement on the real web server
+# ----------------------------------------------------------------------
+@pytest.fixture
+def pattern_server(sim):
+    server = make_server(sim)
+    pattern = PatternDemultiplexer(server.kernel)
+    install_webserver_patterns(pattern, server)
+    server.eth.demultiplexer = pattern  # swap the classifier
+    return server, pattern
+
+
+def frame(server, seg, src="10.1.0.1"):
+    return EthFrame(None, server.nic.mac, ETHERTYPE_IP,
+                    IPDatagram(src, server.ip, IPPROTO_TCP, seg))
+
+
+def test_patterns_route_syns_to_passive(pattern_server):
+    server, pattern = pattern_server
+    result = pattern.classify(None, frame(
+        server, TCPSegment(5000, 80, 0, 0, FLAG_SYN)))
+    assert result.kind == TO_PATH
+    assert result.path is server.http.passive_paths[0]
+
+
+def test_patterns_route_connections(sim, pattern_server):
+    server, pattern = pattern_server
+    path = create_path(sim, server)
+    result = pattern.classify(None, frame(
+        server, TCPSegment(5000, 80, 1, 1, FLAG_ACK)))
+    assert result.path is path
+
+
+def test_patterns_enforce_syn_cap(pattern_server):
+    server, pattern = pattern_server
+    server.http.passive_paths[0].policy_state["syn_cap"] = 0
+    result = pattern.classify(None, frame(
+        server, TCPSegment(5000, 80, 0, 0, FLAG_SYN)))
+    assert result.kind == DROP
+    assert result.reason == "syn-cap"
+
+
+def test_patterns_route_arp(pattern_server):
+    server, pattern = pattern_server
+    from repro.net.packet import ArpPacket
+    arp_frame = EthFrame(None, server.nic.mac, ETHERTYPE_ARP,
+                         ArpPacket(ArpPacket.REQUEST, "10.1.0.1", None,
+                                   server.ip))
+    result = pattern.classify(None, arp_frame)
+    assert result.path is server.arp.arp_path
+
+
+def test_server_works_end_to_end_with_pattern_demux(sim, pattern_server):
+    """Full requests complete with the alternative demultiplexer."""
+    server, pattern = pattern_server
+    from tests.test_modules_tcp import inject
+    sent = []
+    server.nic.send = sent.append
+    inject(server, TCPSegment(5000, 80, 0, 0, FLAG_SYN))
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert server.tcp.connections_accepted == 1
+    assert pattern.evaluations > 0

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs clean and prints its story.
+
+(`reproduce_paper.py` is exercised by the benchmark suite instead — it
+regenerates the whole evaluation and takes minutes.)
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["throughput:", "cycle accounting", "TOTAL"]),
+    ("syn_flood_defense.py", ["slowdown:", "dropped at demux"]),
+    ("qos_stream.py", ["stream achieved", "MB/s"]),
+    ("cgi_runaway.py", ["pathKill", "average kill cost"]),
+    ("custom_filter.py", ["port-80 requests served", "filter demux drops"]),
+    ("penalty_box.py", ["offenders recorded", "passive-penalty"]),
+    ("ping_and_udp.py", ["ICMP:", "UDP:", "pathKill"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for marker in expected:
+        assert marker in proc.stdout, (script, marker, proc.stdout[-1500:])
+
+
+def test_module_entry_point_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for marker in ("scout", "accounting_pd", "linux", "conn/s"):
+        assert marker in proc.stdout
+
+
+def test_module_entry_point_help():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 0
+    assert "usage" in proc.stdout

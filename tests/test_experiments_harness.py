@@ -1,0 +1,99 @@
+"""Tests for the experiment harness: measurement correctness."""
+
+import pytest
+
+from repro.sim.clock import seconds_to_ticks, ticks_to_server_cycles
+from repro.experiments.harness import (
+    CycleLedger,
+    Testbed,
+    TRUSTED_SUBNET,
+    UNTRUSTED_SUBNET,
+)
+
+
+def test_by_name_builds_all_four_configs():
+    for name, accounting, pds in (
+            ("scout", False, False),
+            ("accounting", True, False),
+            ("accounting_pd", True, True)):
+        bed = Testbed.by_name(name)
+        cfg = bed.server.kernel.config
+        assert cfg.accounting == accounting
+        assert cfg.protection_domains == pds
+    assert not hasattr(Testbed.by_name("linux").server, "kernel")
+    with pytest.raises(ValueError):
+        Testbed.by_name("windows")
+
+
+def test_subnets_are_disjoint():
+    for host in TRUSTED_SUBNET.hosts(10):
+        assert host not in UNTRUSTED_SUBNET
+
+
+def test_clients_land_on_the_trusted_subnet():
+    bed = Testbed.escort()
+    clients = bed.add_clients(3)
+    for client in clients:
+        assert client.ip in TRUSTED_SUBNET
+
+
+def test_window_boundaries_and_rate():
+    bed = Testbed.escort()
+    bed.add_clients(2, document="/doc-1")
+    result = bed.run(warmup_s=0.5, measure_s=1.0)
+    assert result.window_end - result.window_start \
+        == seconds_to_ticks(1.0)
+    expected = result.client_completions / 1.0
+    assert result.connections_per_second == pytest.approx(expected)
+
+
+def test_ledger_conserves_cycles():
+    """Sum over all owners == wall-clock cycles of the window (the
+    simulation-level ground truth behind the paper's 'virtually 100%')."""
+    bed = Testbed.escort()
+    bed.add_clients(4, document="/doc-1k")
+    result = bed.run(warmup_s=0.4, measure_s=1.0)
+    total = sum(result.cycles_by_category.values())
+    assert total == pytest.approx(result.window_cycles, rel=1e-3)
+
+
+def test_ledger_category_names():
+    from repro.kernel.owner import Owner, OwnerType
+    ledger = CycleLedger()
+    assert ledger.category(Owner(OwnerType.IDLE, "idle")) == "idle"
+    assert ledger.category(Owner(OwnerType.KERNEL, "kernel")) == "kernel"
+    path = Owner(OwnerType.PATH, "conn-9")
+    assert ledger.category(path) == "active-path"
+    passive = Owner(OwnerType.PATH, "passive-trusted")
+    assert ledger.category(passive) == "passive-path"
+    pd = Owner(OwnerType.PROTECTION_DOMAIN, "pd-tcp")
+    assert ledger.category(pd) == "pd:pd-tcp"
+
+
+def test_ledger_only_records_between_start_stop():
+    ledger = CycleLedger()
+
+    class FakeOwner:
+        name = "x"
+
+    owner = FakeOwner()
+    ledger._on_charge(owner, 100)      # not recording yet
+    assert ledger.total() == 0
+    ledger.start()
+    ledger._on_charge(owner, 50)
+    ledger.stop()
+    ledger._on_charge(owner, 25)
+    assert ledger.total() == 50
+
+
+def test_multiple_runs_accumulate_windows():
+    bed = Testbed.escort()
+    bed.add_clients(1, document="/doc-1")
+    first = bed.run(warmup_s=0.3, measure_s=0.5)
+    second = bed.run(warmup_s=0.0, measure_s=0.5)
+    assert second.window_start >= first.window_end
+
+
+def test_documents_parameter_overrides_default():
+    bed = Testbed.escort(documents={"/only": 512})
+    assert bed.server.fs.documents == {"/only": 512}

@@ -1,0 +1,128 @@
+"""Integration tests: the whole web server end to end.
+
+Everything here goes through the real stack: simulated clients on the
+switch, frames over the hub, demux, paths, TCP, HTTP, FS, teardown.
+"""
+
+import pytest
+
+from repro.sim.clock import seconds_to_ticks
+from repro.experiments.harness import Testbed
+
+
+def small_run(kind="accounting", clients=2, document="/doc-1k",
+              measure_s=0.8, **kwargs):
+    bed = Testbed.by_name(kind, **kwargs)
+    bed.add_clients(clients, document=document)
+    result = bed.run(warmup_s=0.3, measure_s=measure_s)
+    return bed, result
+
+
+def test_requests_complete_end_to_end(sim):
+    bed, result = small_run()
+    assert result.client_completions > 0
+    assert result.client_failures == 0
+    server = bed.server
+    assert server.http.requests_served >= result.client_completions
+    assert server.tcp.connections_closed >= result.client_completions
+
+
+def test_clients_receive_the_whole_document(sim):
+    bed, _ = small_run(document="/doc-10k")
+    for client in bed.clients:
+        assert client.requests_completed > 0
+        # header (180) + body (10240) per request
+        assert set(client.response_sizes) == {10 * 1024 + 180}
+
+
+def test_unknown_document_gets_404(sim):
+    bed = Testbed.escort()
+    bed.add_clients(1, document="/missing")
+    result = bed.run(warmup_s=0.3, measure_s=0.5)
+    assert bed.server.http.requests_404 > 0
+    # 404s still complete the connection cleanly at the client.
+    assert result.client_completions > 0
+
+
+def test_connection_state_is_reclaimed(sim):
+    """No leaked paths/owners after connections finish."""
+    bed, result = small_run(measure_s=0.5)
+    server = bed.server
+    # Let in-flight connections drain.
+    bed.sim.run(until=bed.sim.now + seconds_to_ticks(2.0))
+    live = [p for p in server.tcp.conn_table.values() if not p.destroyed]
+    assert len(live) <= len(bed.clients)  # at most currently-open ones
+    closed = server.tcp.connections_closed
+    assert closed > 0
+
+
+def test_kernel_memory_returns_after_drain(sim):
+    bed, _ = small_run(measure_s=0.5)
+    server = bed.server
+    for client in bed.clients:
+        client.stop()
+    bed.sim.run(until=bed.sim.now + seconds_to_ticks(3.0))
+    # All connection paths destroyed: their pages and kmem are back.
+    for path in server.tcp.conn_table.values():
+        assert path.destroyed or path.usage.kmem >= 0
+    live = [p for p in server.tcp.conn_table.values() if not p.destroyed]
+    assert not live
+
+
+def test_well_behaved_cgi_serves_response(sim):
+    bed = Testbed.escort()
+    bed.add_clients(1, document="/cgi-bin/busy")
+    result = bed.run(warmup_s=0.3, measure_s=1.0)
+    assert bed.server.http.cgi_spawned > 0
+    assert bed.server.http.requests_served > 0
+    assert result.client_completions > 0
+
+
+def test_unknown_cgi_gets_404(sim):
+    bed = Testbed.escort()
+    bed.add_clients(1, document="/cgi-bin/ghost")
+    bed.run(warmup_s=0.3, measure_s=0.5)
+    assert bed.server.http.requests_404 > 0
+
+
+def test_cycle_conservation_under_load(sim):
+    """The ledger's total equals the wall clock — Escort's core claim."""
+    bed, result = small_run(clients=8)
+    total = sum(result.cycles_by_category.values())
+    assert total == pytest.approx(result.window_cycles, rel=0.001)
+
+
+def test_scout_config_has_no_accounting_overhead_ops(sim):
+    bed = Testbed.scout()
+    assert bed.server.kernel.acct(100) == 0
+
+
+def test_accounting_config_counts_ops(sim):
+    bed = Testbed.escort()
+    assert bed.server.kernel.acct(2) == 2 * bed.costs.accounting_op
+
+
+def test_pd_config_performs_crossings(sim):
+    bed, _ = small_run(kind="accounting_pd", measure_s=0.5)
+    paths = list(bed.server.tcp.conn_table.values())
+    # Any live or past path must have paid crossings; check a live one.
+    live = [p for p in paths if not p.destroyed]
+    if live:
+        assert live[0].crossings > 0
+
+
+def test_single_domain_config_never_crosses(sim):
+    bed, _ = small_run(kind="accounting", measure_s=0.5)
+    for path in bed.server.tcp.conn_table.values():
+        assert path.crossings == 0
+
+
+def test_documents_of_all_sizes_served(sim):
+    for doc, size in (("/doc-1", 1), ("/doc-1k", 1024),
+                      ("/doc-10k", 10240)):
+        bed = Testbed.escort()
+        bed.add_clients(1, document=doc)
+        result = bed.run(warmup_s=0.3, measure_s=0.6)
+        assert result.client_completions > 0, doc
+        client = bed.clients[0]
+        assert set(client.response_sizes) == {size + 180}, doc

@@ -1,0 +1,70 @@
+"""Unit tests for the role-based ACL (policy level 1)."""
+
+import pytest
+
+from repro.kernel.acl import KERNEL_OPERATIONS, AccessControlList, Role
+from repro.kernel.domain import ProtectionDomain
+from repro.kernel.errors import PermissionError_
+from repro.kernel.owner import Owner, OwnerType, make_kernel_owner
+
+
+def test_privileged_role_permits_everything():
+    role = Role.privileged()
+    for op in KERNEL_OPERATIONS:
+        assert role.permits(op)
+
+
+def test_module_role_denies_dangerous_ops():
+    role = Role.module()
+    assert not role.permits("set_policy")
+    assert not role.permits("path_kill")
+    assert not role.permits("device_access")
+    assert role.permits("path_create")
+    assert role.permits("iobuf_alloc")
+
+
+def test_driver_role_gets_device_access():
+    role = Role.driver()
+    assert role.permits("device_access")
+    assert not role.permits("set_policy")
+
+
+def test_privileged_domain_resolves_privileged():
+    acl = AccessControlList()
+    pd = ProtectionDomain("priv", privileged=True)
+    assert acl.role_for(None, pd).name == "privileged"
+
+
+def test_kernel_owner_is_privileged_anywhere():
+    acl = AccessControlList()
+    pd = ProtectionDomain("ordinary")
+    assert acl.role_for(make_kernel_owner(), pd).name == "privileged"
+
+
+def test_assigned_role_used():
+    acl = AccessControlList()
+    pd = ProtectionDomain("eth")
+    acl.assign(pd, Role.driver())
+    acl.check("device_access", None, pd)  # should not raise
+
+
+def test_default_role_denies_and_counts():
+    acl = AccessControlList()
+    pd = ProtectionDomain("untrusted")
+    with pytest.raises(PermissionError_):
+        acl.check("set_policy", None, pd)
+    assert acl.denials == 1
+
+
+def test_unknown_operation_rejected():
+    acl = AccessControlList()
+    with pytest.raises(ValueError):
+        acl.check("format_disk", None, None)
+
+
+def test_path_owner_in_module_domain_uses_domain_role():
+    acl = AccessControlList()
+    pd = ProtectionDomain("http")
+    owner = Owner(OwnerType.PATH, name="p")
+    role = acl.role_for(owner, pd)
+    assert role.name == "module"

@@ -1,0 +1,112 @@
+"""Unit tests for protection domains and heap chargeback.
+
+The paper's rule under test: "the kernel gives memory pages to protection
+domains, which in turn implement a heap and hand out smaller memory objects
+to paths that traverse them", with path charges deducted from the domain.
+"""
+
+import pytest
+
+from repro.kernel.domain import ProtectionDomain
+from repro.kernel.errors import ResourceLimitError
+from repro.kernel.memory import PAGE_SIZE, PageAllocator
+from repro.kernel.owner import Owner, OwnerType
+
+
+def make_path_owner(name="path"):
+    """A path-typed owner that reports crossing every domain (tests only)."""
+    owner = Owner(OwnerType.PATH, name=name)
+    return owner
+
+
+def test_heap_grow_charges_domain_pages():
+    alloc = PageAllocator(total_pages=8)
+    pd = ProtectionDomain("ip")
+    pd.heap_grow(alloc, pages=2)
+    assert pd.usage.pages == 2
+    assert pd.heap_capacity == 2 * PAGE_SIZE
+    assert pd.heap_used == 0
+
+
+def test_heap_alloc_charges_domain_by_default():
+    alloc = PageAllocator(total_pages=8)
+    pd = ProtectionDomain("ip")
+    pd.heap_grow(alloc, pages=1)
+    pd.heap_alloc(100, label="routing-table")
+    assert pd.usage.heap_bytes == 100
+    assert pd.heap_used == 100
+    assert pd.live_allocations() == 1
+
+
+def test_heap_alloc_chargeback_to_path():
+    """Path charges are deducted from the domain's heap charge."""
+    alloc = PageAllocator(total_pages=8)
+    pd = ProtectionDomain("tcp")
+    pd.heap_grow(alloc, pages=1)
+    path = make_path_owner()
+    a = pd.heap_alloc(256, charge_to=path, label="tcb")
+    assert path.usage.heap_bytes == 256
+    assert pd.usage.heap_bytes == -256  # deducted from the domain
+    assert a in path.heap_allocations
+    pd.heap_free(a)
+    assert path.usage.heap_bytes == 0
+    assert pd.usage.heap_bytes == 0
+
+
+def test_heap_transfer_back_to_domain():
+    """Destructor behaviour: charge moves back to the protection domain."""
+    alloc = PageAllocator(total_pages=8)
+    pd = ProtectionDomain("tcp")
+    pd.heap_grow(alloc, pages=1)
+    path = make_path_owner()
+    a = pd.heap_alloc(512, charge_to=path)
+    pd.heap_transfer(a, pd)
+    assert path.usage.heap_bytes == 0
+    # The -512 chargeback is undone and the domain now owns the 512 bytes.
+    assert pd.usage.heap_bytes == 512
+    assert a.charged_to is pd
+    assert a in pd.heap_allocations
+
+
+def test_heap_exhaustion_without_allocator():
+    alloc = PageAllocator(total_pages=8)
+    pd = ProtectionDomain("fs")
+    pd.heap_grow(alloc, pages=1)
+    with pytest.raises(ResourceLimitError):
+        pd.heap_alloc(PAGE_SIZE + 1)
+
+
+def test_heap_grows_on_demand_with_allocator():
+    alloc = PageAllocator(total_pages=8)
+    pd = ProtectionDomain("fs")
+    pd.heap_alloc(PAGE_SIZE + 1, allocator=alloc)
+    assert pd.usage.pages == 2
+
+
+def test_reclaim_path_allocations():
+    """pathKill sweeps a dying path's heap objects out of each domain."""
+    alloc = PageAllocator(total_pages=8)
+    pd = ProtectionDomain("tcp")
+    pd.heap_grow(alloc, pages=1)
+    path = make_path_owner()
+    pd.heap_alloc(100, charge_to=path)
+    pd.heap_alloc(200, charge_to=path)
+    pd.heap_alloc(50)  # domain's own object survives
+    freed = pd.reclaim_path_allocations(path)
+    assert freed == 2
+    assert path.usage.heap_bytes == 0
+    assert pd.heap_used == 50
+
+
+def test_free_accounting_roundtrip_many():
+    alloc = PageAllocator(total_pages=8)
+    pd = ProtectionDomain("http")
+    pd.heap_grow(alloc, pages=4)
+    path = make_path_owner()
+    allocations = [pd.heap_alloc(64, charge_to=path) for _ in range(100)]
+    assert path.usage.heap_bytes == 6400
+    for a in allocations:
+        pd.heap_free(a)
+    assert path.usage.heap_bytes == 0
+    assert pd.usage.heap_bytes == 0
+    assert pd.heap_used == 0

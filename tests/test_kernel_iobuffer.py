@@ -1,0 +1,179 @@
+"""Unit tests for IOBuffers: locking, write revocation, cache, association."""
+
+import pytest
+
+from repro.kernel.domain import ProtectionDomain
+from repro.kernel.errors import InvalidOperationError, PermissionError_
+from repro.kernel.iobuffer import IOBufferCache, pages_for
+from repro.kernel.memory import PAGE_SIZE, PageAllocator
+from repro.kernel.owner import Owner, OwnerType, make_kernel_owner
+
+
+@pytest.fixture
+def setup():
+    alloc = PageAllocator(total_pages=64)
+    kernel_owner = make_kernel_owner()
+    cache = IOBufferCache(alloc, kernel_owner, cache_capacity_pages=8)
+    pd1 = ProtectionDomain("pd1")
+    pd2 = ProtectionDomain("pd2")
+    return alloc, cache, pd1, pd2
+
+
+def make_path(pds):
+    path = Owner(OwnerType.PATH, name="path")
+    path.domains_crossed = lambda: set(pds)
+    return path
+
+
+def test_sizes_round_up_to_pages(setup):
+    _, cache, pd1, _ = setup
+    buf, hit = cache.alloc(100, pd1, pd1)
+    assert buf.nbytes == PAGE_SIZE
+    assert not hit
+    assert pages_for(1) == 1
+    assert pages_for(PAGE_SIZE + 1) == 2
+
+
+def test_domain_owned_buffer_maps_rw_in_domain_only(setup):
+    _, cache, pd1, pd2 = setup
+    buf, _ = cache.alloc(100, pd1, pd1)
+    assert buf.writable_in(pd1)
+    assert not buf.readable_in(pd2)
+    assert pd1.usage.pages == 1
+
+
+def test_path_owned_buffer_read_only_elsewhere(setup):
+    _, cache, pd1, pd2 = setup
+    path = make_path([pd1, pd2])
+    buf, _ = cache.alloc(100, path, pd1, read_pds=[pd2])
+    assert buf.writable_in(pd1)
+    assert buf.readable_in(pd2)
+    assert not buf.writable_in(pd2)
+    assert path.usage.pages == 1
+
+
+def test_owner_must_cross_current_domain(setup):
+    _, cache, pd1, pd2 = setup
+    path = make_path([pd2])  # does not cross pd1
+    with pytest.raises(PermissionError_):
+        cache.alloc(100, path, pd1)
+
+
+def test_lock_revokes_write_access(setup):
+    """Locking removes all write privileges so contents can be validated."""
+    _, cache, pd1, pd2 = setup
+    path = make_path([pd1, pd2])
+    buf, _ = cache.alloc(100, path, pd1, read_pds=[pd2])
+    cache.lock(buf, path)
+    assert buf.writer_pd is None
+    assert not buf.writable_in(pd1)
+    assert buf.readable_in(pd1)
+    assert buf.refcount == 1
+
+
+def test_one_kernel_lock_per_owner(setup):
+    _, cache, pd1, _ = setup
+    buf, _ = cache.alloc(100, pd1, pd1)
+    cache.lock(buf, pd1)
+    with pytest.raises(InvalidOperationError):
+        cache.lock(buf, pd1)
+
+
+def test_unlock_without_lock_rejected(setup):
+    _, cache, pd1, _ = setup
+    buf, _ = cache.alloc(100, pd1, pd1)
+    with pytest.raises(InvalidOperationError):
+        cache.unlock(buf, pd1)
+
+
+def test_unlock_to_zero_caches_buffer(setup):
+    alloc, cache, pd1, _ = setup
+    buf, _ = cache.alloc(100, pd1, pd1)
+    cache.lock(buf, pd1)
+    cache.unlock(buf, pd1)
+    assert buf.cached
+    assert cache.cached_buffers == 1
+    # Pages now held by the kernel cache, not the old owner.
+    assert pd1.usage.pages == 0
+
+
+def test_cache_reuse_matches_mapping_set(setup):
+    """An alloc with the same read-mapping set reuses the cached buffer."""
+    _, cache, pd1, pd2 = setup
+    path = make_path([pd1, pd2])
+    buf, _ = cache.alloc(100, path, pd1, read_pds=[pd2])
+    cache.lock(buf, path)
+    cache.unlock(buf, path)
+    buf2, hit = cache.alloc(100, path, pd1, read_pds=[pd2])
+    assert hit
+    assert buf2 is buf
+    assert buf2.writable_in(pd1)
+    assert path.usage.pages == 1
+
+
+def test_cache_miss_on_different_mappings(setup):
+    _, cache, pd1, pd2 = setup
+    buf, _ = cache.alloc(100, pd1, pd1)
+    cache.lock(buf, pd1)
+    cache.unlock(buf, pd1)
+    path = make_path([pd1, pd2])
+    buf2, hit = cache.alloc(100, path, pd1, read_pds=[pd2])
+    assert not hit
+    assert buf2 is not buf
+
+
+def test_associate_second_owner_fully_charged(setup):
+    """The web-cache pattern: second owner charged for the whole buffer."""
+    _, cache, pd1, pd2 = setup
+    path = make_path([pd1, pd2])
+    buf, _ = cache.alloc(PAGE_SIZE * 2, pd1, pd1)
+    cache.lock(buf, pd1)
+    cache.associate(buf, path, pd1, read_pds=[pd2])
+    assert buf.refcount == 2
+    assert path.usage.pages == 2      # fully charged
+    assert pd1.usage.pages == 2       # original owner still charged too
+    assert buf.readable_in(pd2)
+    cache.unlock(buf, path)
+    assert path.usage.pages == 0      # uncharged on lock release
+    assert buf.refcount == 1
+
+
+def test_reclaim_owner_releases_locks_and_buffers(setup):
+    alloc, cache, pd1, pd2 = setup
+    path = make_path([pd1, pd2])
+    own_buf, _ = cache.alloc(100, path, pd1)
+    cache.lock(own_buf, path)
+    shared, _ = cache.alloc(100, pd1, pd1)
+    cache.lock(shared, pd1)
+    cache.associate(shared, path, pd1)
+    count = cache.reclaim_owner(path)
+    assert count == 2
+    assert own_buf.freed                      # primary charge: destroyed
+    assert not shared.freed                   # survives via pd1's lock
+    assert path.usage.pages == 0
+    assert path.usage.kmem == 0
+    assert len(path.iobuffer_locks) == 0
+
+
+def test_destroyed_owner_buffer_not_cached(setup):
+    _, cache, pd1, _ = setup
+    buf, _ = cache.alloc(100, pd1, pd1)
+    cache.lock(buf, pd1)
+    pd1.destroyed = True
+    cache.unlock(buf, pd1)
+    assert buf.freed
+    assert not buf.cached
+
+
+def test_cache_capacity_respected(setup):
+    alloc, cache, pd1, _ = setup
+    bufs = []
+    for _ in range(12):
+        buf, _ = cache.alloc(PAGE_SIZE, pd1, pd1)
+        cache.lock(buf, pd1)
+        bufs.append(buf)
+    for buf in bufs:
+        cache.unlock(buf, pd1)
+    # Capacity is 8 pages; the rest were freed outright.
+    assert cache.cached_buffers == 8
+    assert sum(1 for b in bufs if b.freed) == 4

@@ -1,0 +1,166 @@
+"""Unit tests for owner destruction — the containment step.
+
+Containment is the paper's third requirement: "it must be possible to
+reclaim the consumed resources using as few additional resources as
+possible".  These tests pin down that kill_owner reclaims *everything* an
+owner holds, across every resource class, and that the cost model scales
+with the tracked objects (Table 2's structure).
+"""
+
+import pytest
+
+from repro.sim.clock import millis_to_ticks
+from repro.sim.cpu import Block, Cycles
+from repro.kernel.errors import InvalidOperationError
+from repro.kernel.owner import Owner, OwnerType
+
+
+def make_owner(name="victim"):
+    return Owner(OwnerType.PATH, name=name)
+
+
+def fully_loaded_owner(kernel, name="victim"):
+    """An owner holding one of everything."""
+    owner = make_owner(name)
+    kernel.allocator.alloc(owner, count=3)
+    pd = kernel.create_domain("pd-x")
+    pd.heap_grow(kernel.allocator, pages=1)
+    owner.domains_crossed = lambda: {pd}
+    pd.heap_alloc(100, charge_to=owner)
+    buf, _ = kernel.iobufs.alloc(100, owner, pd)
+    kernel.iobufs.lock(buf, owner)
+    kernel.create_semaphore(owner)
+
+    def spin():
+        while True:
+            yield Cycles(1000)
+
+    kernel.spawn_thread(owner, spin())
+
+    def later():
+        return
+        yield  # pragma: no cover
+
+    kernel.create_event(owner, later, delay_ticks=millis_to_ticks(100))
+    return owner
+
+
+def test_kill_reclaims_every_resource_class(sim, kernel):
+    owner = fully_loaded_owner(kernel)
+    sim.run(until=millis_to_ticks(1))
+    report = kernel.kill_owner(owner)
+    assert owner.destroyed
+    assert owner.page_list == set()
+    assert owner.thread_list == set()
+    assert owner.iobuffer_locks == set()
+    assert owner.event_list == set()
+    assert owner.semaphore_list == set()
+    assert owner.heap_allocations == set()
+    assert owner.usage.pages == 0
+    assert owner.usage.stacks == 0
+    assert owner.usage.kmem == 0
+    assert owner.usage.heap_bytes == 0
+    assert report.pages >= 4          # 3 raw + 1 iobuf page
+    assert report.threads == 1
+    assert report.semaphores == 1
+    assert report.events == 1
+
+
+def test_kill_cost_scales_with_tracked_objects(sim, kernel):
+    small = make_owner("small")
+    kernel.allocator.alloc(small, count=1)
+    big = make_owner("big")
+    kernel.allocator.alloc(big, count=50)
+    cost_small = kernel.reclaim_cost(small, 0)
+    cost_big = kernel.reclaim_cost(big, 0)
+    assert cost_big > cost_small
+    assert cost_big - cost_small == 49 * kernel.costs.kill_per_page
+
+
+def test_kill_cost_includes_domain_visits(sim, pd_kernel):
+    owner = make_owner()
+    pds = [pd_kernel.create_domain(f"pd{i}") for i in range(7)]
+    owner.domains_crossed = lambda: set(pds)
+    report = pd_kernel.kill_owner(owner)
+    assert report.domains_visited == 7
+    base = pd_kernel.costs.kill_base
+    assert report.cycles == base + 7 * pd_kernel.costs.kill_per_domain
+
+
+def test_kill_charges_kernel_owner(sim, kernel):
+    owner = fully_loaded_owner(kernel)
+    sim.run(until=millis_to_ticks(1))
+    before = kernel.kernel_owner.usage.cycles
+    report = kernel.kill_owner(owner)
+    sim.run(until=sim.now + millis_to_ticks(5))
+    assert kernel.kernel_owner.usage.cycles - before >= report.cycles
+
+
+def test_double_kill_rejected(sim, kernel):
+    owner = make_owner()
+    kernel.kill_owner(owner)
+    with pytest.raises(InvalidOperationError):
+        kernel.kill_owner(owner)
+
+
+def test_kill_stops_running_thread(sim, kernel):
+    owner = make_owner()
+    progress = []
+
+    def spin():
+        while True:
+            yield Cycles(100)
+            progress.append(sim.now)
+
+    kernel.spawn_thread(owner, spin())
+    sim.schedule(millis_to_ticks(1), lambda: kernel.kill_owner(owner))
+    sim.run(until=millis_to_ticks(10))
+    cutoff = millis_to_ticks(1) + 1000
+    assert all(t <= cutoff for t in progress)
+
+
+def test_kill_wakes_foreign_semaphore_waiters(sim, kernel):
+    victim = make_owner("victim")
+    bystander = make_owner("bystander")
+    sema = kernel.create_semaphore(victim, count=0)
+    woken = []
+
+    def waiter():
+        ok = yield from sema.acquire()
+        woken.append(ok)
+
+    kernel.spawn_thread(bystander, waiter())
+    sim.schedule(1000, lambda: kernel.kill_owner(victim))
+    sim.run()
+    assert woken == [False]
+    assert not bystander.destroyed
+
+
+def test_runaway_policy_kills_owner(sim, kernel):
+    """The CGI defence: a thread over its runtime limit kills its owner."""
+    owner = make_owner("cgi")
+    owner.runtime_limit_cycles = 600_000  # the paper's 2 ms at 300 MHz
+
+    def infinite_loop():
+        while True:
+            yield Cycles(50_000)
+
+    kernel.spawn_thread(owner, infinite_loop())
+    sim.run(until=millis_to_ticks(10))
+    assert owner.destroyed
+    assert kernel.runaway_traps == 1
+    # Detected at exactly 2 ms of consumed CPU.
+    assert owner.usage.cycles == 600_000
+
+
+def test_destroy_domain_kills_crossing_paths(sim, pd_kernel):
+    pd = pd_kernel.create_domain("ip")
+    path = make_owner("flow")
+    path.domains_crossed = lambda: {pd}
+    pd.crossing_paths.add(path)
+    path.on_destroy(lambda p: pd.crossing_paths.discard(p))
+    reports = pd_kernel.destroy_domain(pd)
+    assert path.destroyed
+    assert pd.destroyed
+    assert len(reports) == 2
+    assert pd not in pd_kernel.domains

@@ -1,0 +1,119 @@
+"""Unit tests for pages, the page allocator, and ownership charging."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.errors import (
+    InvalidOperationError,
+    OwnerDestroyedError,
+    ResourceLimitError,
+)
+from repro.kernel.memory import PAGE_SIZE, Page, PageAllocator
+from repro.kernel.owner import Owner, OwnerType
+
+
+def make_owner(name="o"):
+    return Owner(OwnerType.PATH, name=name)
+
+
+def test_alloc_charges_owner():
+    alloc = PageAllocator(total_pages=10)
+    owner = make_owner()
+    pages = alloc.alloc(owner, count=3)
+    assert len(pages) == 3
+    assert owner.usage.pages == 3
+    assert owner.page_list == set(pages)
+    assert alloc.free_pages == 7
+
+
+def test_free_uncharges():
+    alloc = PageAllocator(total_pages=4)
+    owner = make_owner()
+    (page,) = alloc.alloc(owner)
+    alloc.free(page)
+    assert owner.usage.pages == 0
+    assert owner.page_list == set()
+    assert alloc.free_pages == 4
+
+
+def test_double_free_rejected():
+    alloc = PageAllocator(total_pages=4)
+    owner = make_owner()
+    (page,) = alloc.alloc(owner)
+    alloc.free(page)
+    with pytest.raises(InvalidOperationError):
+        alloc.free(page)
+
+
+def test_exhaustion_raises_resource_limit():
+    alloc = PageAllocator(total_pages=2)
+    owner = make_owner()
+    alloc.alloc(owner, count=2)
+    with pytest.raises(ResourceLimitError):
+        alloc.alloc(owner)
+
+
+def test_alloc_to_destroyed_owner_rejected():
+    alloc = PageAllocator(total_pages=2)
+    owner = make_owner()
+    owner.destroyed = True
+    with pytest.raises(OwnerDestroyedError):
+        alloc.alloc(owner)
+
+
+def test_transfer_moves_charge():
+    alloc = PageAllocator(total_pages=4)
+    a, b = make_owner("a"), make_owner("b")
+    (page,) = alloc.alloc(a)
+    alloc.transfer(page, b)
+    assert a.usage.pages == 0
+    assert b.usage.pages == 1
+    assert page.owner is b
+    assert page in b.page_list
+
+
+def test_reclaim_all_frees_everything():
+    alloc = PageAllocator(total_pages=16)
+    owner = make_owner()
+    alloc.alloc(owner, count=5)
+    other = make_owner("other")
+    alloc.alloc(other, count=2)
+    freed = alloc.reclaim_all(owner)
+    assert freed == 5
+    assert owner.usage.pages == 0
+    assert alloc.free_pages == 14  # other's pages untouched
+    assert other.usage.pages == 2
+
+
+def test_invalid_counts_rejected():
+    alloc = PageAllocator(total_pages=2)
+    with pytest.raises(ValueError):
+        alloc.alloc(make_owner(), count=0)
+    with pytest.raises(ValueError):
+        PageAllocator(total_pages=0)
+
+
+def test_page_size_is_alpha_8k():
+    assert PAGE_SIZE == 8192
+
+
+@given(st.lists(st.sampled_from(["alloc", "free", "transfer"]),
+                min_size=1, max_size=200))
+def test_counters_always_match_lists(ops):
+    """Property: usage.pages always equals len(page_list) for all owners."""
+    alloc = PageAllocator(total_pages=64)
+    owners = [make_owner(f"o{i}") for i in range(3)]
+    held = []
+    idx = 0
+    for op in ops:
+        idx += 1
+        owner = owners[idx % 3]
+        if op == "alloc" and alloc.free_pages:
+            held.extend(alloc.alloc(owner))
+        elif op == "free" and held:
+            alloc.free(held.pop(idx % len(held)))
+        elif op == "transfer" and held:
+            alloc.transfer(held[idx % len(held)], owner)
+        for o in owners:
+            assert o.usage.pages == len(o.page_list)
+        assert alloc.free_pages + len(alloc.allocated) == 64

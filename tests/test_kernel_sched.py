@@ -1,0 +1,170 @@
+"""Unit tests for the three Escort schedulers."""
+
+import pytest
+
+from repro.sim.clock import millis_to_ticks
+from repro.sim.cpu import CPU, Cycles, YieldCPU
+from repro.sim.engine import Simulator
+from repro.kernel.owner import Owner, OwnerType
+from repro.kernel.sched import (
+    EDFScheduler,
+    PriorityScheduler,
+    ProportionalShareScheduler,
+)
+
+
+def make_owner(name, tickets=1, priority=0, period=0):
+    owner = Owner(OwnerType.PATH, name=name)
+    owner.sched.tickets = tickets
+    owner.sched.priority = priority
+    owner.sched.period_ticks = period
+    return owner
+
+
+def spinner(rounds, burst, log, tag):
+    for _ in range(rounds):
+        yield Cycles(burst)
+        log.append(tag)
+        yield YieldCPU()
+
+
+# ----------------------------------------------------------------------
+# Proportional share
+# ----------------------------------------------------------------------
+def test_stride_respects_ticket_ratio():
+    sim = Simulator()
+    cpu = CPU(sim, 2, scheduler=ProportionalShareScheduler())
+    heavy = make_owner("heavy", tickets=3)
+    light = make_owner("light", tickets=1)
+    log = []
+    cpu.spawn(spinner(400, 100, log, "h"), heavy)
+    cpu.spawn(spinner(400, 100, log, "l"), light)
+    # Run long enough for ~100 bursts total, then compare shares.
+    sim.run(until=2 * 100 * 100)
+    h = log.count("h")
+    l = log.count("l")
+    assert h + l > 20
+    assert h / max(1, l) == pytest.approx(3.0, rel=0.35)
+
+
+def test_stride_waking_owner_cannot_bank_credit():
+    """An owner idle for a long time must not starve others on wake."""
+    sim = Simulator()
+    sched = ProportionalShareScheduler()
+    cpu = CPU(sim, 2, scheduler=sched)
+    steady = make_owner("steady", tickets=1)
+    log = []
+    cpu.spawn(spinner(1000, 100, log, "s"), steady)
+    sleeper = make_owner("sleeper", tickets=1)
+
+    def wake_later():
+        cpu.spawn(spinner(500, 100, log, "w"), sleeper)
+
+    sim.schedule(100_000, wake_later)  # steady has run 500 bursts already
+    sim.run(until=140_000)
+    # After waking, the two should roughly alternate in the wake window.
+    tail = log[-60:]
+    assert tail.count("w") > 15
+
+
+def test_stride_single_owner_runs_alone():
+    sim = Simulator()
+    cpu = CPU(sim, 2, scheduler=ProportionalShareScheduler())
+    owner = make_owner("solo")
+    log = []
+    cpu.spawn(spinner(10, 10, log, "x"), owner)
+    sim.run()
+    assert log == ["x"] * 10
+
+
+# ----------------------------------------------------------------------
+# Priority
+# ----------------------------------------------------------------------
+def test_priority_strictly_preferred():
+    sim = Simulator()
+    cpu = CPU(sim, 2, scheduler=PriorityScheduler())
+    high = make_owner("high", priority=10)
+    low = make_owner("low", priority=1)
+    log = []
+    cpu.spawn(spinner(5, 100, log, "l"), low)
+    cpu.spawn(spinner(5, 100, log, "h"), high)
+    sim.run()
+    # All high bursts complete before any low burst (after the first low
+    # burst that may already be running... the CPU is non-preemptive, but
+    # here both start queued so high runs first).
+    assert log[:5].count("h") >= 4
+
+
+def test_equal_priority_round_robins():
+    sim = Simulator()
+    cpu = CPU(sim, 2, scheduler=PriorityScheduler())
+    a = make_owner("a", priority=5)
+    b = make_owner("b", priority=5)
+    log = []
+    cpu.spawn(spinner(3, 100, log, "a"), a)
+    cpu.spawn(spinner(3, 100, log, "b"), b)
+    sim.run()
+    assert log == ["a", "b", "a", "b", "a", "b"]
+
+
+# ----------------------------------------------------------------------
+# EDF
+# ----------------------------------------------------------------------
+def test_edf_earliest_deadline_runs_first():
+    sim = Simulator()
+    sched = EDFScheduler(now_fn=lambda: sim.now)
+    cpu = CPU(sim, 2, scheduler=sched)
+    urgent = make_owner("urgent", period=millis_to_ticks(1))
+    relaxed = make_owner("relaxed", period=millis_to_ticks(100))
+    log = []
+    cpu.spawn(spinner(3, 100, log, "r"), relaxed)
+    cpu.spawn(spinner(3, 100, log, "u"), urgent)
+    sim.run()
+    # The first relaxed burst is already running (non-preemptive), but
+    # urgent then completes all its bursts before relaxed continues.
+    assert log == ["r", "u", "u", "u", "r", "r"]
+
+
+def test_edf_background_owner_runs_last():
+    sim = Simulator()
+    sched = EDFScheduler(now_fn=lambda: sim.now)
+    cpu = CPU(sim, 2, scheduler=sched)
+    periodic = make_owner("periodic", period=millis_to_ticks(5))
+    background = make_owner("background", period=0)
+    log = []
+    cpu.spawn(spinner(3, 100, log, "b"), background)
+    cpu.spawn(spinner(3, 100, log, "p"), periodic)
+    sim.run()
+    # After background's in-flight burst, the periodic owner preempts the
+    # queue: all its bursts run before background resumes.
+    assert log == ["b", "p", "p", "p", "b", "b"]
+
+
+def test_edf_deadline_rolls_forward():
+    sim = Simulator()
+    sched = EDFScheduler(now_fn=lambda: sim.now)
+    cpu = CPU(sim, 2, scheduler=sched)
+    owner = make_owner("p", period=1000)
+    log = []
+    cpu.spawn(spinner(5, 5000, log, "p"), owner)  # bursts overrun the period
+    sim.run()
+    assert log == ["p"] * 5
+    assert owner.sched.deadline > 1000
+
+
+# ----------------------------------------------------------------------
+# Scheduler/CPU integration edge cases
+# ----------------------------------------------------------------------
+def test_dequeue_of_never_enqueued_thread_is_noop():
+    sched = ProportionalShareScheduler()
+    sim = Simulator()
+    cpu = CPU(sim, 2, scheduler=sched)
+    owner = make_owner("o")
+
+    def body():
+        yield Cycles(1)
+
+    t = cpu.spawn(body(), owner)
+    sim.run()
+    sched.dequeue(t)  # already gone: must not raise
+    assert sched.pick() is None

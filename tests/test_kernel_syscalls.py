@@ -1,0 +1,143 @@
+"""Unit tests for the syscall facade: every object class is ACL-guarded."""
+
+import pytest
+
+from repro.sim.clock import seconds_to_ticks
+from repro.sim.cpu import Cycles
+from repro.kernel.acl import Role
+from repro.kernel.errors import InvalidOperationError, PermissionError_
+from repro.kernel.owner import Owner, OwnerType
+from repro.kernel.syscalls import SystemCalls
+
+
+@pytest.fixture
+def syscalls(kernel):
+    return SystemCalls(kernel)
+
+
+@pytest.fixture
+def locked_domain(kernel):
+    pd = kernel.create_domain("locked")
+    kernel.acl.assign(pd, Role("locked", frozenset()))
+    return pd
+
+
+def make_owner(name="o"):
+    return Owner(OwnerType.PATH, name=name)
+
+
+def test_page_calls(kernel, syscalls):
+    pd = kernel.create_domain("pd")
+    owner = make_owner()
+    pages = syscalls.page_alloc(owner, pd, owner, count=2)
+    assert owner.usage.pages == 2
+    syscalls.page_free(owner, pd, pages[0])
+    assert owner.usage.pages == 1
+    assert syscalls.calls_made == {"page_alloc": 1, "page_free": 1}
+
+
+def test_locked_domain_denied_everywhere(kernel, syscalls, locked_domain):
+    owner = make_owner()
+    with pytest.raises(PermissionError_):
+        syscalls.page_alloc(owner, locked_domain, owner)
+    with pytest.raises(PermissionError_):
+        syscalls.semaphore_create(owner, locked_domain, owner)
+    with pytest.raises(PermissionError_):
+        syscalls.console_write(owner, locked_domain, "hi")
+    assert kernel.acl.denials == 3
+
+
+def test_iobuf_calls(kernel, syscalls):
+    pd = kernel.create_domain("pd")
+    buf, hit = syscalls.iobuf_alloc(None, pd, 100, pd)
+    assert not hit
+    syscalls.iobuf_lock(None, pd, buf, pd)
+    size, refs = syscalls.iobuf_query(None, pd, buf)
+    assert refs == 1
+    syscalls.iobuf_unlock(None, pd, buf, pd)
+    assert buf.refcount == 0
+
+
+def test_thread_spawn_and_stop(sim, kernel, syscalls):
+    pd = kernel.create_domain("pd")
+    owner = make_owner()
+
+    def spin():
+        while True:
+            yield Cycles(1000)
+
+    thread = syscalls.thread_spawn(None, pd, owner, spin())
+    sim.run(until=seconds_to_ticks(0.001))
+    assert thread.alive
+    syscalls.thread_stop(None, pd, thread)
+    assert not thread.alive
+
+
+def test_thread_handoff_targets_new_owner(sim, kernel, syscalls):
+    pd = kernel.create_domain("pd")
+    target = make_owner("target")
+    seen = []
+
+    def body():
+        yield Cycles(10)
+        seen.append(kernel.cpu.current.owner.name)
+
+    syscalls.thread_handoff(None, pd, target, body())
+    sim.run(until=seconds_to_ticks(0.01))
+    assert seen == ["target"]
+
+
+def test_event_calls(sim, kernel, syscalls):
+    kernel.boot()
+    pd = kernel.create_domain("pd")
+    owner = make_owner()
+    fired = []
+
+    def fn():
+        fired.append(1)
+        return
+        yield  # pragma: no cover
+
+    ev = syscalls.event_create(None, pd, owner, fn,
+                               seconds_to_ticks(0.002))
+    syscalls.event_cancel(None, pd, ev)
+    sim.run(until=seconds_to_ticks(0.01))
+    assert fired == []
+
+
+def test_semaphore_calls(kernel, syscalls):
+    pd = kernel.create_domain("pd")
+    owner = make_owner()
+    sema = syscalls.semaphore_create(None, pd, owner, count=1)
+    assert sema.try_acquire()
+    syscalls.semaphore_destroy(None, pd, sema)
+    assert sema.destroyed
+
+
+def test_device_registry(kernel, syscalls):
+    pd = kernel.create_domain("eth-pd", role=Role.driver())
+    nic = object()
+    syscalls.device_register("eth0", nic)
+    assert syscalls.device_open(None, pd, "eth0") is nic
+    with pytest.raises(InvalidOperationError):
+        syscalls.device_open(None, pd, "eth1")
+
+
+def test_module_role_cannot_touch_devices(kernel, syscalls):
+    pd = kernel.create_domain("app-pd", role=Role.module())
+    with pytest.raises(PermissionError_):
+        syscalls.device_open(None, pd, "eth0")
+
+
+def test_console(kernel, syscalls):
+    pd = kernel.create_domain("pd")
+    syscalls.console_write(None, pd, "boot: Escort 1.0")
+    assert syscalls.console_log == ["boot: Escort 1.0"]
+
+
+def test_call_counting(kernel, syscalls):
+    pd = kernel.create_domain("pd")
+    owner = make_owner()
+    syscalls.page_alloc(owner, pd, owner)
+    syscalls.console_write(owner, pd, "x")
+    assert syscalls.total_calls() == 2

@@ -1,0 +1,160 @@
+"""Unit tests for Escort threads, thread pools, and queues."""
+
+import pytest
+
+from repro.sim.cpu import Block, Cycles, YieldCPU
+from repro.kernel.owner import Owner, OwnerType
+from repro.kernel.threads import STACK_KMEM, THREAD_KMEM, ThreadPool
+
+
+def make_owner(name="o", otype=OwnerType.PATH):
+    return Owner(otype, name=name)
+
+
+def test_spawn_charges_kmem_and_stacks(sim, kernel):
+    owner = make_owner()
+
+    def body():
+        yield Cycles(10)
+
+    t = kernel.spawn_thread(owner, body(), stack_domains=3)
+    # Path threads get one stack per crossable domain plus a kernel stack.
+    assert t.stack_count == 4
+    assert owner.usage.stacks == 4
+    assert owner.usage.kmem == THREAD_KMEM + 4 * STACK_KMEM
+    assert t in owner.thread_list
+    sim.run()
+    assert owner.thread_list == set()
+    assert owner.usage.kmem == 0
+    assert owner.usage.stacks == 0
+
+
+def test_domain_thread_has_single_stack(sim, kernel):
+    pd_owner = make_owner("pd", OwnerType.PROTECTION_DOMAIN)
+
+    def body():
+        yield Cycles(1)
+
+    t = kernel.spawn_thread(pd_owner, body())
+    assert t.stack_count == 1
+    sim.run()
+
+
+def test_join_waits_for_completion(sim, kernel):
+    owner = make_owner()
+    log = []
+
+    def worker():
+        yield Cycles(500)
+        log.append("worker-done")
+
+    worker_t = kernel.spawn_thread(owner, worker())
+
+    def joiner():
+        yield from worker_t.join()
+        log.append("joined")
+
+    kernel.spawn_thread(make_owner("j"), joiner())
+    sim.run()
+    assert log == ["worker-done", "joined"]
+
+
+def test_join_on_killed_thread_wakes(sim, kernel):
+    """Escort wakes threads waiting on a thread whose owner is destroyed."""
+    owner = make_owner()
+    log = []
+
+    def worker():
+        yield Cycles(10_000_000)  # would run a long time
+
+    worker_t = kernel.spawn_thread(owner, worker())
+
+    def joiner():
+        yield from worker_t.join()
+        log.append("woken")
+
+    kernel.spawn_thread(make_owner("j"), joiner())
+    sim.schedule(100, worker_t.kill)
+    sim.run()
+    assert log == ["woken"]
+
+
+def test_thread_pool_processes_queue_items(sim, kernel):
+    owner = make_owner()
+    queue = kernel.create_queue(capacity=16)
+    seen = []
+
+    def handler(item):
+        yield Cycles(10)
+        seen.append(item)
+
+    pool = ThreadPool(kernel, owner, queue, handler, size=2)
+    for i in range(5):
+        queue.put(i)
+    sim.run()
+    assert sorted(seen) == [0, 1, 2, 3, 4]
+    pool.shutdown()
+    sim.run()
+    assert all(not t.alive for t in pool.threads)
+
+
+def test_queue_overflow_drops(sim, kernel):
+    queue = kernel.create_queue(capacity=2)
+    assert queue.put(1)
+    assert queue.put(2)
+    assert not queue.put(3)
+    assert queue.drops == 1
+
+
+def test_queue_close_wakes_getters(sim, kernel):
+    queue = kernel.create_queue(capacity=2)
+    result = []
+
+    def body():
+        item = yield from queue.get()
+        result.append(item)
+
+    kernel.spawn_thread(make_owner(), body())
+    sim.schedule(100, queue.close)
+    sim.run()
+    assert result == [None]
+    assert not queue.put("x")
+
+
+def test_queue_fifo_order(sim, kernel):
+    queue = kernel.create_queue(capacity=8)
+    result = []
+
+    def body():
+        while True:
+            item = yield from queue.get()
+            if item is None:
+                return
+            result.append(item)
+
+    kernel.spawn_thread(make_owner(), body())
+    for i in range(5):
+        queue.put(i)
+    sim.schedule(1000, queue.close)
+    sim.run()
+    assert result == [0, 1, 2, 3, 4]
+
+
+def test_handoff_creates_thread_of_target_owner(sim, kernel):
+    """threadHandoff: a new thread belonging to the target owner."""
+    a = make_owner("a")
+    b = make_owner("b")
+    observed = []
+
+    def continuation():
+        yield Cycles(10)
+        observed.append(kernel.cpu.current.owner.name)
+
+    def original():
+        yield Cycles(10)
+        kernel.spawn_thread(b, continuation(), name="handoff-b")
+
+    kernel.spawn_thread(a, original())
+    sim.run()
+    assert observed == ["b"]
+    assert b.usage.cycles >= 10

@@ -1,0 +1,91 @@
+"""Unit tests for the module graph: typed edges, positions, boot."""
+
+import pytest
+
+from repro.sim.clock import seconds_to_ticks
+from repro.kernel.errors import InvalidOperationError
+from repro.modules.base import Module
+from repro.modules.graph import ModuleGraph
+
+
+class FileOnly(Module):
+    interfaces = frozenset({"file"})
+
+
+class Both(Module):
+    interfaces = frozenset({"aio", "file"})
+
+
+@pytest.fixture
+def graph(kernel):
+    return ModuleGraph(kernel)
+
+
+def pd_of(kernel):
+    return kernel.privileged_domain
+
+
+def test_add_and_find(graph, kernel):
+    m = Module(kernel, "m1", pd_of(kernel))
+    graph.add(m, position=10)
+    assert graph.find("m1") is m
+    assert "m1" in graph
+    assert graph.position("m1") == 10
+    with pytest.raises(KeyError):
+        graph.find("nope")
+
+
+def test_duplicate_names_rejected(graph, kernel):
+    graph.add(Module(kernel, "m", pd_of(kernel)), 0)
+    with pytest.raises(InvalidOperationError):
+        graph.add(Module(kernel, "m", pd_of(kernel)), 1)
+
+
+def test_connect_requires_common_interface(graph, kernel):
+    graph.add(Module(kernel, "aio-mod", pd_of(kernel)), 0)
+    graph.add(FileOnly(kernel, "file-mod", pd_of(kernel)), 10)
+    graph.add(Both(kernel, "both-mod", pd_of(kernel)), 20)
+    with pytest.raises(InvalidOperationError):
+        graph.connect("aio-mod", "file-mod")          # no common default
+    graph.connect("file-mod", "both-mod", interface="file")
+    graph.connect("aio-mod", "both-mod", interface="aio")
+    assert graph.connected("file-mod", "both-mod")
+    assert graph.connected("both-mod", "file-mod")    # edges are symmetric
+    assert not graph.connected("aio-mod", "file-mod")
+
+
+def test_neighbors_sorted_by_position(graph, kernel):
+    for name, pos in (("a", 30), ("b", 10), ("hub", 20)):
+        graph.add(Module(kernel, name, pd_of(kernel)), pos)
+    graph.connect("hub", "a")
+    graph.connect("hub", "b")
+    assert graph.neighbors("hub") == ["b", "a"]
+
+
+def test_modules_listed_in_position_order(graph, kernel):
+    graph.add(Module(kernel, "z", pd_of(kernel)), 50)
+    graph.add(Module(kernel, "a", pd_of(kernel)), 5)
+    assert [m.name for m in graph.modules()] == ["a", "z"]
+
+
+def test_boot_runs_init_in_module_domain(sim, kernel):
+    graph = ModuleGraph(kernel)
+    seen = []
+
+    class Initful(Module):
+        def init_module(self):
+            seen.append(kernel.cpu.current.owner)
+            return
+            yield  # pragma: no cover
+
+    pd = kernel.create_domain("pd-init")
+    graph.add(Initful(kernel, "initful", pd), 0)
+    graph.boot()
+    sim.run(until=seconds_to_ticks(0.01))
+    assert seen == [pd]
+
+
+def test_double_boot_rejected(graph):
+    graph.boot()
+    with pytest.raises(InvalidOperationError):
+        graph.boot()

@@ -1,0 +1,82 @@
+"""Tests for the ICMP module and the double-crossing thread example."""
+
+import pytest
+
+from repro.sim.clock import seconds_to_ticks
+from repro.modules.icmp import IPPROTO_ICMP, IcmpEcho
+from repro.net.packet import ETHERTYPE_IP, EthFrame, IPDatagram
+from tests.test_core_lifecycle import make_server
+
+
+def ping(server, ident=1, seq=1, src="10.1.0.1"):
+    if server.arp.lookup(src) is None:
+        from repro.net.addressing import MacAddr
+        server.arp.seed(src, MacAddr(f"peer-{src}"))
+    echo = IcmpEcho(IcmpEcho.REQUEST, ident, seq)
+    frame = EthFrame(None, server.nic.mac, ETHERTYPE_IP,
+                     IPDatagram(src, server.ip, IPPROTO_ICMP, echo))
+    server.eth.on_frame(frame)
+
+
+def test_icmp_path_created_at_boot(sim):
+    server = make_server(sim)
+    path = server.icmp.icmp_path
+    assert path is not None
+    assert [s.module.name for s in path.stages] == ["eth", "ip", "icmp"]
+
+
+def test_echo_request_gets_reply(sim):
+    server = make_server(sim)
+    sent = []
+    server.nic.send = sent.append
+    ping(server, ident=7, seq=3)
+    sim.run(until=sim.now + seconds_to_ticks(0.01))
+    assert server.icmp.requests_answered == 1
+    assert len(sent) == 1
+    reply = sent[0].payload.payload
+    assert reply.kind == IcmpEcho.REPLY
+    assert reply.ident == 7
+    assert reply.seq == 3
+    assert sent[0].payload.dst_ip == "10.1.0.1"
+    assert sent[0].payload.proto == IPPROTO_ICMP
+
+
+def test_echo_crosses_ip_domain_twice(sim):
+    """The paper's section 3.2 example: the thread that delivers the echo
+    request also sends the response, crossing IP's domain twice."""
+    server = make_server(sim, pd=True)
+    server.nic.send = lambda f: None
+    path = server.icmp.icmp_path
+    before = path.crossings
+    ping(server)
+    sim.run(until=sim.now + seconds_to_ticks(0.01))
+    # Up: eth->ip, ip->icmp.  Down: icmp->ip, ip->eth.  IP entered twice.
+    assert path.crossings - before == 4
+
+
+def test_echo_work_charged_to_icmp_path(sim):
+    server = make_server(sim)
+    server.nic.send = lambda f: None
+    path = server.icmp.icmp_path
+    before = path.usage.cycles
+    for seq in range(5):
+        ping(server, seq=seq)
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert server.icmp.requests_answered == 5
+    assert path.usage.cycles > before
+
+
+def test_echo_reply_consumed_quietly(sim):
+    server = make_server(sim)
+    server.nic.send = lambda f: None
+    echo = IcmpEcho(IcmpEcho.REPLY, 1, 1)
+    frame = EthFrame(None, server.nic.mac, ETHERTYPE_IP,
+                     IPDatagram("10.1.0.1", server.ip, IPPROTO_ICMP, echo))
+    server.eth.on_frame(frame)
+    sim.run(until=sim.now + seconds_to_ticks(0.01))
+    assert server.icmp.replies_seen == 1
+    assert server.icmp.requests_answered == 0
+
+
+def test_icmp_size_field():
+    assert IcmpEcho(IcmpEcho.REQUEST, 1, 1, payload_len=56).size == 64

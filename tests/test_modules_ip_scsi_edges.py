@@ -1,0 +1,107 @@
+"""Edge behaviour of IP transmit paths, SCSI serialization, queues."""
+
+import pytest
+
+from repro.sim.clock import seconds_to_ticks
+from repro.sim.cpu import Cycles
+from repro.modules.scsi import ScsiRead
+from repro.net.addressing import Subnet
+from tests.test_core_lifecycle import create_path, make_server
+
+
+def run_backward(sim, server, path, msg):
+    out = {}
+
+    def body():
+        stage = path.stage_of("ip")
+        result = yield from server.ip_mod.backward(stage, msg)
+        out["result"] = result
+
+    server.kernel.spawn_thread(server.kernel.kernel_owner, body())
+    sim.run(until=sim.now + seconds_to_ticks(0.01))
+    return out.get("result")
+
+
+def test_ip_drops_unroutable_destinations(sim):
+    server = make_server(sim)
+    path = create_path(sim, server)
+    # Remove all routes: nothing is reachable.
+    server.ip_mod.routes.clear()
+    from repro.net.packet import FLAG_ACK, TCPSegment
+    seg = TCPSegment(80, 5000, 0, 0, FLAG_ACK)
+    assert run_backward(sim, server, path, ("10.1.0.1", seg)) is False
+    assert server.ip_mod.drops == 1
+
+
+def test_ip_drops_without_arp_entry(sim):
+    server = make_server(sim)
+    path = create_path(sim, server)
+    from repro.net.packet import FLAG_ACK, TCPSegment
+    seg = TCPSegment(80, 5000, 0, 0, FLAG_ACK)
+    # Route exists (default), but nobody knows the MAC.
+    assert run_backward(sim, server, path, ("10.7.7.7", seg)) is False
+    assert server.ip_mod.drops == 1
+
+
+def test_ip_forward_rejects_foreign_destination(sim):
+    server = make_server(sim)
+    path = create_path(sim, server)
+    from repro.net.packet import FLAG_ACK, IPDatagram, IPPROTO_TCP, \
+        TCPSegment
+    dgram = IPDatagram("10.1.0.1", "10.0.0.99", IPPROTO_TCP,
+                       TCPSegment(5000, 80, 0, 0, FLAG_ACK))
+    out = {}
+
+    def body():
+        stage = path.stage_of("ip")
+        out["r"] = yield from server.ip_mod.forward(stage, dgram)
+
+    server.kernel.spawn_thread(server.kernel.kernel_owner, body())
+    sim.run(until=sim.now + seconds_to_ticks(0.01))
+    assert out["r"] is False
+
+
+def test_scsi_requests_serialize_on_the_arm(sim):
+    """Two concurrent reads share one disk arm: they cannot overlap."""
+    server = make_server(sim)
+    path = create_path(sim, server)
+    done = []
+
+    def reader(tag):
+        def body():
+            stage = path.stage_of("fs")  # adjacent to scsi
+            ok = yield from stage.call_forward(ScsiRead(8 * 1024))
+            done.append((tag, sim.now, ok))
+        return body()
+
+    t0 = sim.now
+    server.kernel.spawn_thread(server.kernel.kernel_owner, reader("a"))
+    server.kernel.spawn_thread(server.kernel.kernel_owner, reader("b"))
+    sim.run(until=sim.now + seconds_to_ticks(1.0))
+    assert len(done) == 2
+    assert all(ok for _, _, ok in done)
+    (tag1, end1, _), (tag2, end2, _) = sorted(done, key=lambda d: d[1])
+    single = (server.costs.disk_latency_ticks
+              + server.costs.disk_transfer_ticks(8 * 1024))
+    # The second completion is at least one full disk access after the
+    # first: the semaphore serialized them.
+    assert end2 - end1 >= single * 0.9
+
+
+def test_queue_get_nowait(kernel):
+    queue = kernel.create_queue(capacity=4)
+    assert queue.get_nowait() is None
+    queue.put("x")
+    assert queue.get_nowait() == "x"
+    assert queue.get_nowait() is None
+
+
+def test_subnet_specificity_in_routes(sim):
+    server = make_server(sim)
+    ip = server.ip_mod
+    before_heap = ip.pd.usage.heap_bytes
+    ip.add_route(Subnet("10.0.0.0/8"))
+    ip.add_route(Subnet("10.0.0.0/30"))
+    subnet, _ = ip.route("10.0.0.2")
+    assert subnet.prefix_len == 30
+    assert ip.pd.usage.heap_bytes > before_heap

@@ -1,0 +1,169 @@
+"""Module-level tests for Scout TCP: paths, engines, timers, teardown."""
+
+import pytest
+
+from repro.sim.clock import seconds_to_ticks
+from repro.core.path import FORWARD, PathWork
+from repro.net.packet import (
+    ETHERTYPE_IP,
+    EthFrame,
+    FLAG_ACK,
+    FLAG_RST,
+    FLAG_SYN,
+    IPDatagram,
+    IPPROTO_TCP,
+    TCPSegment,
+)
+from tests.test_core_lifecycle import make_server
+
+
+def inject(server, seg, src_ip="10.1.0.1"):
+    """Deliver a segment through the NIC (interrupt + demux + path)."""
+    if server.arp.lookup(src_ip) is None:
+        from repro.net.addressing import MacAddr
+        server.arp.seed(src_ip, MacAddr(f"peer-{src_ip}"))
+    frame = EthFrame(None, server.nic.mac, ETHERTYPE_IP,
+                     IPDatagram(src_ip, server.ip, IPPROTO_TCP, seg))
+    server.eth.on_frame(frame)
+
+
+def test_syn_creates_active_path_and_synack(sim):
+    server = make_server(sim)
+    sent = []
+    server.nic.send = sent.append
+    inject(server, TCPSegment(5000, 80, 0, 0, FLAG_SYN))
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert server.tcp.connections_accepted == 1
+    key = (80, "10.1.0.1", 5000)
+    assert key in server.tcp.conn_table
+    synacks = [f for f in sent
+               if f.payload.payload.flags & FLAG_SYN
+               and f.payload.payload.flags & FLAG_ACK]
+    assert len(synacks) == 1
+
+
+def test_syn_recvd_counted_on_passive_path(sim):
+    server = make_server(sim)
+    server.nic.send = lambda f: None  # black-hole: never complete
+    passive = server.http.passive_paths[0]
+    inject(server, TCPSegment(5000, 80, 0, 0, FLAG_SYN))
+    inject(server, TCPSegment(5001, 80, 0, 0, FLAG_SYN), "10.1.0.2")
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert passive.policy_state["syn_recvd"] == 2
+
+
+def test_established_decrements_syn_recvd(sim):
+    server = make_server(sim)
+    server.nic.send = lambda f: None
+    passive = server.http.passive_paths[0]
+    inject(server, TCPSegment(5000, 80, 0, 0, FLAG_SYN))
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert passive.policy_state["syn_recvd"] == 1
+    # Complete the handshake: ACK of the SYN-ACK (server ISS=0 -> ack=1).
+    inject(server, TCPSegment(5000, 80, 1, 1, FLAG_ACK))
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert passive.policy_state["syn_recvd"] == 0
+    assert server.tcp.connections_established == 1
+
+
+def test_killed_halfopen_decrements_syn_recvd(sim):
+    server = make_server(sim)
+    server.nic.send = lambda f: None
+    passive = server.http.passive_paths[0]
+    inject(server, TCPSegment(5000, 80, 0, 0, FLAG_SYN))
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    path = server.tcp.conn_table[(80, "10.1.0.1", 5000)]
+    server.path_manager.path_kill(path)
+    assert passive.policy_state["syn_recvd"] == 0
+
+
+def test_synack_retransmits_then_gives_up(sim):
+    """Half-open containment: abandoned handshakes expire on their own."""
+    server = make_server(sim)
+    sent = []
+    server.nic.send = sent.append
+    inject(server, TCPSegment(5000, 80, 0, 0, FLAG_SYN))
+    # Retries back off 1.5 -> 3 -> 6 -> 12 s; the abort fires at ~22.5 s.
+    sim.run(until=sim.now + seconds_to_ticks(25))
+    synacks = [f for f in sent if f.payload.payload.flags & FLAG_SYN]
+    assert len(synacks) == 4  # original + MAX_SYN_RETRIES
+    path = server.tcp.conn_table.get((80, "10.1.0.1", 5000))
+    assert path is None or path.destroyed
+    assert server.http.passive_paths[0].policy_state["syn_recvd"] == 0
+
+
+def test_rst_tears_down_the_path(sim):
+    server = make_server(sim)
+    server.nic.send = lambda f: None
+    inject(server, TCPSegment(5000, 80, 0, 0, FLAG_SYN))
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    inject(server, TCPSegment(5000, 80, 1, 1, FLAG_RST | FLAG_ACK))
+    sim.run(until=sim.now + seconds_to_ticks(0.1))
+    path = server.tcp.conn_table.get((80, "10.1.0.1", 5000))
+    assert path is None or path.destroyed
+    assert server.tcp.connections_aborted >= 1
+
+
+def test_duplicate_syn_is_not_a_second_connection(sim):
+    server = make_server(sim)
+    server.nic.send = lambda f: None
+    syn = TCPSegment(5000, 80, 0, 0, FLAG_SYN)
+    inject(server, syn)
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    inject(server, TCPSegment(5000, 80, 0, 0, FLAG_SYN))
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert server.tcp.connections_accepted == 1
+
+
+def test_master_event_charges_connection_paths(sim):
+    server = make_server(sim)
+    server.nic.send = lambda f: None
+    inject(server, TCPSegment(5000, 80, 0, 0, FLAG_SYN))
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    path = server.tcp.conn_table[(80, "10.1.0.1", 5000)]
+    before = path.usage.cycles
+    # Two master-event periods later the path has been charged scan work.
+    sim.run(until=sim.now + 2 * server.costs.tcp_master_period_ticks
+            + seconds_to_ticks(0.01))
+    assert path.usage.cycles > before
+    assert server.tcp.master_event is not None
+    assert server.tcp.master_event.owner is server.tcp.pd
+
+
+def test_timer_events_owned_by_the_path(sim):
+    server = make_server(sim)
+    server.nic.send = lambda f: None
+    inject(server, TCPSegment(5000, 80, 0, 0, FLAG_SYN))
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    path = server.tcp.conn_table[(80, "10.1.0.1", 5000)]
+    stage = path.stage_of("tcp")
+    rto = stage.state["timers"].get("rto")
+    assert rto is not None
+    assert rto.owner is path  # timeout work will be charged to the path
+
+
+def test_conn_window_recorded_on_graceful_close(sim):
+    server = make_server(sim)
+    from repro.experiments.harness import Testbed
+    bed = Testbed.escort()
+    bed.add_clients(1, document="/doc-1")
+    bed.run(warmup_s=0.3, measure_s=0.5)
+    windows = bed.server.tcp.conn_windows
+    assert windows
+    for created, closed in windows:
+        assert closed > created
+
+
+def test_tcb_charged_to_path_and_freed_by_destructor(sim):
+    server = make_server(sim)
+    server.nic.send = lambda f: None
+    inject(server, TCPSegment(5000, 80, 0, 0, FLAG_SYN))
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    path = server.tcp.conn_table[(80, "10.1.0.1", 5000)]
+    assert path.usage.heap_bytes >= 256  # the TCB
+    assert len(path.destructors) == 1
+    # Graceful destroy runs the destructor and frees the TCB.
+    server.path_manager.schedule_destroy(path)
+    sim.run(until=sim.now + seconds_to_ticks(0.1))
+    assert path.destroyed
+    assert path.usage.heap_bytes == 0

@@ -1,0 +1,106 @@
+"""Tests for the UDP module: binding, demux, echo service."""
+
+import pytest
+
+from repro.sim.clock import seconds_to_ticks
+from repro.modules.udp import IPPROTO_UDP, UDPDatagram, echo_handler
+from repro.net.packet import ETHERTYPE_IP, EthFrame, IPDatagram
+from tests.test_core_lifecycle import make_server
+
+
+def bind_echo(sim, server, port=7):
+    out = {}
+
+    def body():
+        path = yield from server.udp.bind(port, echo_handler(server.udp),
+                                          name=f"echo-{port}")
+        out["path"] = path
+
+    server.kernel.spawn_thread(server.kernel.kernel_owner, body())
+    sim.run(until=sim.now + seconds_to_ticks(0.02))
+    return out["path"]
+
+
+def send_udp(server, dgram, src="10.1.0.1"):
+    if server.arp.lookup(src) is None:
+        from repro.net.addressing import MacAddr
+        server.arp.seed(src, MacAddr(f"peer-{src}"))
+    frame = EthFrame(None, server.nic.mac, ETHERTYPE_IP,
+                     IPDatagram(src, server.ip, IPPROTO_UDP, dgram))
+    server.eth.on_frame(frame)
+
+
+def test_bind_creates_path(sim):
+    server = make_server(sim)
+    path = bind_echo(sim, server, port=7)
+    assert [s.module.name for s in path.stages] == ["eth", "ip", "udp"]
+    assert server.udp.bindings[7] is path
+
+
+def test_double_bind_rejected(sim):
+    server = make_server(sim)
+    bind_echo(sim, server, port=7)
+    errors = []
+
+    def body():
+        try:
+            yield from server.udp.bind(7, echo_handler(server.udp))
+        except ValueError as exc:
+            errors.append(exc)
+
+    server.kernel.spawn_thread(server.kernel.kernel_owner, body())
+    sim.run(until=sim.now + seconds_to_ticks(0.02))
+    assert errors
+
+
+def test_echo_round_trip(sim):
+    server = make_server(sim)
+    bind_echo(sim, server, port=7)
+    sent = []
+    server.nic.send = sent.append
+    send_udp(server, UDPDatagram(5353, 7, 64, app_data="ping"))
+    sim.run(until=sim.now + seconds_to_ticks(0.02))
+    assert server.udp.rx_datagrams == 1
+    assert server.udp.tx_datagrams == 1
+    assert len(sent) == 1
+    reply = sent[0].payload.payload
+    assert reply.dst_port == 5353
+    assert reply.src_port == 7
+    assert reply.payload_len == 64
+    assert reply.app_data == "ping"
+
+
+def test_unbound_port_dropped_at_demux(sim):
+    server = make_server(sim)
+    bind_echo(sim, server, port=7)
+    send_udp(server, UDPDatagram(5353, 9999, 64))
+    sim.run(until=sim.now + seconds_to_ticks(0.02))
+    assert server.eth.drops.get("udp-no-binding") == 1
+    assert server.udp.rx_datagrams == 0
+
+
+def test_datagrams_charged_to_the_bound_path(sim):
+    server = make_server(sim)
+    path = bind_echo(sim, server, port=7)
+    server.nic.send = lambda f: None
+    before = path.usage.cycles
+    for i in range(10):
+        send_udp(server, UDPDatagram(6000 + i, 7, 64))
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert server.udp.rx_datagrams == 10
+    assert path.usage.cycles > before
+
+
+def test_killing_the_path_unbinds_the_port(sim):
+    server = make_server(sim)
+    path = bind_echo(sim, server, port=7)
+    server.path_manager.path_kill(path)
+    assert 7 not in server.udp.bindings
+    assert 7 not in server.udp.handlers
+    send_udp(server, UDPDatagram(5353, 7, 64))
+    sim.run(until=sim.now + seconds_to_ticks(0.02))
+    assert server.eth.drops.get("udp-no-binding") == 1
+
+
+def test_udp_datagram_size():
+    assert UDPDatagram(1, 2, 100).size == 108

@@ -1,0 +1,100 @@
+"""Unit tests for the message library."""
+
+import pytest
+
+from repro.kernel.domain import ProtectionDomain
+from repro.kernel.errors import InvalidOperationError
+from repro.kernel.iobuffer import IOBufferCache
+from repro.kernel.memory import PageAllocator
+from repro.kernel.owner import Owner, OwnerType, make_kernel_owner
+from repro.msg.message import Message
+
+
+@pytest.fixture
+def iobufs():
+    return IOBufferCache(PageAllocator(32), make_kernel_owner())
+
+
+def make_owner(name="o"):
+    owner = Owner(OwnerType.PATH, name=name)
+    owner.domains_crossed = lambda: set()
+    return owner
+
+
+def test_header_push_pop():
+    msg = Message(body_len=1024)
+    msg.push("tcp", 20)
+    msg.push("ip", 20)
+    msg.push("eth", 18)
+    assert msg.header_len == 58
+    assert msg.total_len == 1082
+    assert msg.pop() == ("eth", 18)
+    assert msg.peek() == ("ip", 20)
+    assert msg.total_len == 1064
+
+
+def test_pop_empty_raises():
+    msg = Message()
+    with pytest.raises(InvalidOperationError):
+        msg.pop()
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(ValueError):
+        Message(body_len=-1)
+    msg = Message()
+    with pytest.raises(ValueError):
+        msg.push("h", -1)
+
+
+def test_user_refcounts_over_single_kernel_lock(iobufs):
+    """Each owner holds at most one kernel lock however many refs it has."""
+    pd = ProtectionDomain("pd")
+    buf, _ = iobufs.alloc(100, pd, pd)
+    msg = Message(body_len=100, iobuf=buf)
+    owner = make_owner()
+
+    msg.add_ref(owner, iobufs)
+    msg.add_ref(owner, iobufs)
+    msg.add_ref(owner, iobufs)
+    assert msg.refs_of(owner) == 3
+    assert msg.kernel_locks() == 1
+    assert buf.refcount == 1
+
+    msg.release(owner, iobufs)
+    msg.release(owner, iobufs)
+    assert buf.refcount == 1           # still held
+    msg.release(owner, iobufs)
+    assert msg.refs_of(owner) == 0
+    assert buf.refcount == 0           # kernel lock dropped on last ref
+
+
+def test_refs_from_two_owners_take_two_kernel_locks(iobufs):
+    pd = ProtectionDomain("pd")
+    buf, _ = iobufs.alloc(100, pd, pd)
+    msg = Message(body_len=100, iobuf=buf)
+    a, b = make_owner("a"), make_owner("b")
+    msg.add_ref(a, iobufs)
+    msg.add_ref(b, iobufs)
+    assert msg.kernel_locks() == 2
+    assert buf.refcount == 2
+    msg.release(a, iobufs)
+    msg.release(b, iobufs)
+    assert buf.refcount == 0
+
+
+def test_release_without_ref_raises():
+    msg = Message()
+    with pytest.raises(InvalidOperationError):
+        msg.release(make_owner())
+
+
+def test_locking_revokes_writer(iobufs):
+    """Messages survive losing write permission (the library handles it)."""
+    pd = ProtectionDomain("pd")
+    buf, _ = iobufs.alloc(100, pd, pd)
+    assert buf.writable_in(pd)
+    msg = Message(body_len=100, iobuf=buf)
+    msg.add_ref(make_owner(), iobufs)
+    assert not buf.writable_in(pd)     # locked: consistent & immutable
+    assert buf.readable_in(pd)

@@ -1,0 +1,67 @@
+"""Tests for the participant-address library."""
+
+import pytest
+
+from repro.msg.participants import Participant, ParticipantList
+
+
+def test_stack_semantics():
+    p = Participant().push("eth", "mac-1").push("ip", "10.0.0.1") \
+                     .push("tcp", 80)
+    assert len(p) == 3
+    assert p.peek() == ("tcp", 80)
+    assert p.pop() == ("tcp", 80)
+    assert p.peek() == ("ip", "10.0.0.1")
+    assert "eth" in p
+    assert "tcp" not in p
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        Participant().pop()
+    assert Participant().peek() is None
+
+
+def test_address_for_finds_most_specific():
+    p = Participant().push("ip", "10.0.0.1").push("ip", "10.0.0.2")
+    assert p.address_for("ip") == "10.0.0.2"  # most recent push wins
+    with pytest.raises(KeyError):
+        p.address_for("tcp")
+
+
+def test_copy_is_independent():
+    p = Participant().push("ip", "10.0.0.1")
+    q = p.copy()
+    q.push("tcp", 80)
+    assert len(p) == 1
+    assert len(q) == 2
+    assert p != q
+    assert p == Participant([("ip", "10.0.0.1")])
+
+
+def test_participant_list_roles():
+    remote = Participant().push("ip", "10.0.0.80").push("tcp", 80)
+    local = Participant().push("ip", "10.1.0.1").push("tcp", 5000)
+    plist = ParticipantList(remote, local)
+    assert plist.remote is remote
+    assert plist.local is local
+    assert len(plist) == 2
+    assert list(plist) == [remote, local]
+
+
+def test_participant_list_remote_only():
+    plist = ParticipantList.for_tcp("10.0.0.80", 80)
+    assert plist.local is None
+    assert plist.remote.address_for("tcp") == 80
+    assert plist.remote.address_for("ip") == "10.0.0.80"
+
+
+def test_for_tcp_with_local():
+    plist = ParticipantList.for_tcp("10.0.0.80", 80, "10.1.0.1", 5000)
+    assert plist.local.address_for("tcp") == 5000
+    assert plist.local.address_for("ip") == "10.1.0.1"
+
+
+def test_iteration_order_is_stack_order():
+    p = Participant().push("a", 1).push("b", 2)
+    assert list(p) == [("a", 1), ("b", 2)]

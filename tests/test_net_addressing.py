@@ -1,0 +1,59 @@
+"""Unit tests for IP/MAC addressing and subnets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addressing import MacAddr, Subnet, int_to_ip, ip_to_int
+
+
+def test_ip_round_trip():
+    for addr in ("0.0.0.0", "10.1.2.3", "192.168.0.1", "255.255.255.255"):
+        assert int_to_ip(ip_to_int(addr)) == addr
+
+
+def test_bad_addresses_rejected():
+    for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+    with pytest.raises(ValueError):
+        int_to_ip(-1)
+    with pytest.raises(ValueError):
+        int_to_ip(2 ** 32)
+
+
+def test_subnet_membership():
+    trusted = Subnet("10.1.0.0/16")
+    assert trusted.contains("10.1.0.1")
+    assert trusted.contains("10.1.255.254")
+    assert not trusted.contains("10.2.0.1")
+    assert "10.1.7.7" in trusted
+
+
+def test_zero_prefix_matches_everything():
+    everything = Subnet("0.0.0.0/0")
+    assert everything.contains("1.2.3.4")
+    assert everything.contains("255.0.0.1")
+
+
+def test_subnet_hosts_generator():
+    net = Subnet("192.168.5.0/24")
+    hosts = list(net.hosts(3))
+    assert hosts == ["192.168.5.1", "192.168.5.2", "192.168.5.3"]
+    assert all(net.contains(h) for h in hosts)
+
+
+def test_bad_cidr_rejected():
+    for bad in ("10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1"):
+        with pytest.raises(ValueError):
+            Subnet(bad)
+
+
+def test_mac_addresses_unique_and_hashable():
+    a, b = MacAddr("a"), MacAddr("b")
+    assert a != b
+    assert len({a, b, a}) == 2
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_ip_int_round_trip_property(value):
+    assert ip_to_int(int_to_ip(value)) == value

@@ -1,0 +1,252 @@
+"""Unit tests for the TCP engine: handshake, data, congestion, loss."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.clock import millis_to_ticks
+from repro.sim.engine import Simulator
+from repro.net.packet import FLAG_ACK, FLAG_FIN, FLAG_RST, FLAG_SYN, TCP_MSS
+from repro.net.tcp import TCPActions, TCPEngine, TcpState
+
+
+class Endpoint:
+    """Applies TCPActions for one engine over a simulated pipe."""
+
+    def __init__(self, sim, name, delay=1000):
+        self.sim = sim
+        self.name = name
+        self.delay = delay
+        self.engine = None
+        self.peer = None
+        self.delivered = []       # (nbytes, app_data)
+        self.events = []          # established / fin / closed / aborted
+        self.drop_next = 0        # test hook: drop the next N tx segments
+        self.tx = []
+        self._rto_ev = None
+        self._delack_ev = None
+
+    def apply(self, actions: TCPActions) -> None:
+        for nbytes, data in actions.deliveries:
+            self.delivered.append((nbytes, data))
+        if actions.established:
+            self.events.append("established")
+        if actions.fin_received:
+            self.events.append("fin")
+        if actions.closed:
+            self.events.append("closed")
+        if actions.aborted:
+            self.events.append("aborted")
+        for seg in actions.segments:
+            self.tx.append(seg)
+            if self.drop_next > 0:
+                self.drop_next -= 1
+                continue
+            self.sim.schedule(self.delay,
+                              lambda s=seg: self.peer.receive(s))
+        if actions.cancel_rto and self._rto_ev:
+            self._rto_ev.cancel()
+            self._rto_ev = None
+        if actions.set_rto is not None:
+            if self._rto_ev:
+                self._rto_ev.cancel()
+            self._rto_ev = self.sim.schedule(
+                actions.set_rto, lambda: self.apply(self.engine.on_rto()))
+        if actions.cancel_delack and self._delack_ev:
+            self._delack_ev.cancel()
+            self._delack_ev = None
+        if actions.set_delack is not None:
+            if self._delack_ev:
+                self._delack_ev.cancel()
+            self._delack_ev = self.sim.schedule(
+                actions.set_delack,
+                lambda: self.apply(self.engine.on_delack()))
+
+    def receive(self, seg) -> None:
+        if self.engine is None:
+            # Server side: first SYN creates the engine.
+            eng, actions = TCPEngine.passive_open(
+                "10.0.0.1", 80, seg, "10.0.0.2", **self.engine_kwargs)
+            self.engine = eng
+            self.apply(actions)
+            return
+        self.apply(self.engine.on_segment(seg))
+
+    engine_kwargs = {}
+
+
+def make_pair(sim, client_kwargs=None, server_kwargs=None, delay=1000):
+    client = Endpoint(sim, "client", delay=delay)
+    server = Endpoint(sim, "server", delay=delay)
+    client.peer = server
+    server.peer = client
+    server.engine_kwargs = server_kwargs or {}
+    eng, actions = TCPEngine.active_open("10.0.0.2", 5000, "10.0.0.1", 80,
+                                         **(client_kwargs or {}))
+    client.engine = eng
+    client.apply(actions)
+    return client, server
+
+
+def test_three_way_handshake(sim):
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+    assert client.engine.state == TcpState.ESTABLISHED
+    assert server.engine.state == TcpState.ESTABLISHED
+    assert "established" in client.events
+    assert "established" in server.events
+    # Packet sequence starts SYN, SYN-ACK.
+    assert client.tx[0].flags & FLAG_SYN
+    assert not client.tx[0].flags & FLAG_ACK
+    assert server.tx[0].flags & FLAG_SYN
+    assert server.tx[0].flags & FLAG_ACK
+
+
+def test_single_segment_data_with_app_tag(sim):
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+    client.apply(client.engine.send(200, app_data={"uri": "/index.html"}))
+    sim.run(until=millis_to_ticks(20))
+    assert server.delivered == [(200, {"uri": "/index.html"})]
+
+
+def test_server_close_piggybacks_fin(sim):
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+    server.apply(server.engine.send(500, fin=True))
+    sim.run(until=millis_to_ticks(20))
+    data_seg = [s for s in server.tx if s.payload_len == 500]
+    assert len(data_seg) == 1
+    assert data_seg[0].flags & FLAG_FIN
+    assert "fin" in client.events
+    # Client closes its side; both reach CLOSED.
+    client.apply(client.engine.close())
+    sim.run(until=millis_to_ticks(40))
+    assert client.engine.state == TcpState.CLOSED
+    assert server.engine.state == TcpState.CLOSED
+
+
+def test_multi_segment_transfer_slow_start(sim):
+    """10 KB: the first flight is one segment (initial cwnd = 1 MSS)."""
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+    server.apply(server.engine.send(10 * 1024))
+    first_flight = [s for s in server.tx if s.payload_len > 0]
+    assert len(first_flight) == 1
+    assert first_flight[0].payload_len == TCP_MSS
+    sim.run(until=millis_to_ticks(100))
+    assert sum(n for n, _ in client.delivered) == 10 * 1024
+
+
+def test_delayed_ack_stalls_single_segment_flight(sim):
+    """With client delayed ACKs, the one-segment first flight waits for
+    the delack timer — the mechanism behind Figure 8's 10 KB curves."""
+    delack = millis_to_ticks(30)
+    client, server = make_pair(sim,
+                               client_kwargs={"delayed_ack_ticks": delack})
+    sim.run(until=millis_to_ticks(10))
+    start = sim.now
+    server.apply(server.engine.send(10 * 1024))
+    sim.run(until=start + millis_to_ticks(200))
+    assert sum(n for n, _ in client.delivered) == 10 * 1024
+    assert client.engine.state == TcpState.ESTABLISHED
+    assert server.engine.bytes_sent == 10 * 1024
+    # The client really did send delayed (pure) ACKs along the way.
+    pure_acks = [s for s in client.tx
+                 if s.payload_len == 0 and s.flags & FLAG_ACK]
+    assert pure_acks
+
+
+def test_retransmission_on_loss(sim):
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+    server.drop_next = 1  # lose the first data segment
+    server.apply(server.engine.send(1000))
+    sim.run(until=millis_to_ticks(4000))
+    assert sum(n for n, _ in client.delivered) == 1000
+    assert server.engine.retransmits == 1
+
+
+def test_syn_retransmit_gives_up(sim):
+    """A SYN into the void retries then aborts — half-open containment."""
+    client = Endpoint(sim, "client")
+    client.peer = Endpoint(sim, "blackhole")
+    client.peer.receive = lambda seg: None
+    eng, actions = TCPEngine.active_open("10.0.0.2", 5000, "10.0.0.9", 80)
+    client.engine = eng
+    client.apply(actions)
+    sim.run(until=millis_to_ticks(60_000))
+    assert eng.state == TcpState.CLOSED
+    assert "aborted" in client.events
+    syns = [s for s in client.tx if s.flags & FLAG_SYN]
+    assert len(syns) == 1 + TCPEngine.MAX_SYN_RETRIES
+
+
+def test_abort_sends_rst(sim):
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+    client.apply(client.engine.abort())
+    sim.run(until=millis_to_ticks(20))
+    assert client.engine.state == TcpState.CLOSED
+    assert server.engine.state == TcpState.CLOSED
+    assert "aborted" in server.events
+    rsts = [s for s in client.tx if s.flags & FLAG_RST]
+    assert len(rsts) == 1
+
+
+def test_out_of_order_segment_reacked_not_delivered(sim):
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+    # Hand the client a segment from the future.
+    future = server.engine.snd_nxt + 5000
+    from repro.net.packet import TCPSegment
+    seg = TCPSegment(80, 5000, future, client.engine.snd_nxt,
+                     FLAG_ACK, 100)
+    actions = client.engine.on_segment(seg)
+    assert actions.deliveries == []
+    assert len(actions.segments) == 1  # duplicate ACK
+    assert actions.segments[0].ack == client.engine.rcv_nxt
+
+
+def test_duplicate_syn_retransmits_synack(sim):
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+    # Replay the original SYN at the server.
+    syn = client.tx[0]
+    before = len(server.tx)
+    server.receive(syn)
+    # Engine is established; a duplicate SYN is not renegotiated.
+    assert server.engine.state == TcpState.ESTABLISHED
+
+
+def test_cwnd_grows_through_slow_start(sim):
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+    initial = server.engine.cwnd
+    server.apply(server.engine.send(64 * 1024))
+    sim.run(until=millis_to_ticks(500))
+    assert server.engine.cwnd > initial
+    assert sum(n for n, _ in client.delivered) == 64 * 1024
+
+
+def test_send_on_closed_connection_raises(sim):
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+    client.apply(client.engine.abort())
+    with pytest.raises(RuntimeError):
+        client.engine.send(10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=5000),
+                min_size=1, max_size=8))
+def test_arbitrary_writes_delivered_in_order(sizes):
+    """Property: any sequence of writes arrives complete and in order."""
+    sim = Simulator()
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+    for i, size in enumerate(sizes):
+        server.apply(server.engine.send(size, app_data=i))
+    sim.run(until=millis_to_ticks(5000))
+    assert sum(n for n, _ in client.delivered) == sum(sizes)
+    tags = [d for _, d in client.delivered if d is not None]
+    assert tags == sorted(tags)

@@ -1,0 +1,228 @@
+"""Property-based tests on system-wide invariants.
+
+These are the invariants Escort's security argument rests on:
+
+* **Conservation** — every CPU cycle is charged to exactly one owner;
+* **Non-negativity** — no resource counter ever goes below zero;
+* **Containment** — killing any subset of owners, in any order, reclaims
+  everything they hold and nothing anyone else holds;
+* **Isolation** — a flood of garbage packets never crashes the server,
+  only costs it bounded demux work.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim.clock import seconds_to_ticks, ticks_to_server_cycles
+from repro.sim.engine import Simulator
+from repro.kernel.domain import ProtectionDomain
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.memory import PageAllocator
+from repro.kernel.owner import Owner, OwnerType
+from repro.net.packet import (
+    ETHERTYPE_IP,
+    EthFrame,
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_RST,
+    FLAG_SYN,
+    IPDatagram,
+    IPPROTO_TCP,
+    TCPSegment,
+)
+
+from tests.test_net_tcp import make_pair
+
+SLOW = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# Conservation
+# ----------------------------------------------------------------------
+@SLOW
+@given(clients=st.integers(min_value=1, max_value=6),
+       doc=st.sampled_from(["/doc-1", "/doc-1k", "/doc-10k"]))
+def test_cycle_conservation_for_any_workload(clients, doc):
+    from repro.experiments.harness import Testbed
+    bed = Testbed.escort()
+    bed.add_clients(clients, document=doc)
+    result = bed.run(warmup_s=0.2, measure_s=0.4)
+    total = sum(result.cycles_by_category.values())
+    assert abs(total - result.window_cycles) <= result.window_cycles * 1e-3
+
+
+# ----------------------------------------------------------------------
+# Containment under arbitrary kill interleavings
+# ----------------------------------------------------------------------
+@SLOW
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=4),
+                          st.sampled_from(["page", "heap", "sema", "kill"])),
+                min_size=1, max_size=60))
+def test_kill_any_owner_any_time_reclaims_exactly_its_resources(ops):
+    sim = Simulator()
+    kernel = Kernel(sim, KernelConfig())
+    pd = kernel.create_domain("pd")
+    pd.heap_grow(kernel.allocator, pages=4)
+    owners = [Owner(OwnerType.PATH, name=f"o{i}") for i in range(5)]
+    for owner in owners:
+        owner.domains_crossed = lambda: {pd}
+    total_pages = kernel.allocator.total_pages
+    for index, op in ops:
+        owner = owners[index]
+        if owner.destroyed:
+            continue
+        if op == "page" and kernel.allocator.free_pages:
+            kernel.allocator.alloc(owner)
+        elif op == "heap":
+            pd.heap_alloc(64, charge_to=owner,
+                          allocator=kernel.allocator)
+        elif op == "sema":
+            kernel.create_semaphore(owner)
+        elif op == "kill":
+            kernel.kill_owner(owner, charge=False, record=False)
+            assert owner.usage.pages == 0
+            assert owner.usage.kmem == 0
+            assert owner.usage.heap_bytes == 0
+            assert owner.usage.semaphores == 0
+    # Kill everyone left; all client pages must return.
+    for owner in owners:
+        if not owner.destroyed:
+            kernel.kill_owner(owner, charge=False, record=False)
+    assert kernel.allocator.free_pages == total_pages - pd.usage.pages
+    # The domain's own books balance too.
+    assert pd.usage.heap_bytes >= 0
+
+
+# ----------------------------------------------------------------------
+# Counters never go negative
+# ----------------------------------------------------------------------
+@SLOW
+@given(st.data())
+def test_usage_counters_stay_non_negative(data):
+    sim = Simulator()
+    kernel = Kernel(sim, KernelConfig())
+    pd = kernel.create_domain("pd")
+    owner = Owner(OwnerType.PATH, name="o")
+    owner.domains_crossed = lambda: {pd}
+    buffers = []
+    n_ops = data.draw(st.integers(min_value=1, max_value=40))
+    for _ in range(n_ops):
+        op = data.draw(st.sampled_from(
+            ["alloc", "lock", "unlock", "sema", "event"]))
+        if op == "alloc" and kernel.allocator.free_pages > 2:
+            buf, _ = kernel.iobufs.alloc(100, owner, pd)
+            buffers.append(buf)
+        elif op == "lock":
+            for buf in buffers:
+                if owner not in buf.locks and not buf.freed:
+                    kernel.iobufs.lock(buf, owner)
+                    break
+        elif op == "unlock":
+            for buf in buffers:
+                if owner in buf.locks:
+                    kernel.iobufs.unlock(buf, owner)
+                    break
+        elif op == "sema":
+            kernel.create_semaphore(owner)
+        elif op == "event":
+            kernel.create_event(owner, lambda: iter(()), delay_ticks=10)
+        usage = owner.usage
+        assert usage.pages >= 0
+        assert usage.kmem >= 0
+        assert usage.semaphores >= 0
+        assert usage.events >= 0
+
+
+# ----------------------------------------------------------------------
+# Garbage traffic cannot crash the server
+# ----------------------------------------------------------------------
+@SLOW
+@given(st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=65535),   # src port
+        st.integers(min_value=0, max_value=65535),   # dst port
+        st.integers(min_value=0, max_value=2 ** 20), # seq
+        st.integers(min_value=0, max_value=2 ** 20), # ack
+        st.integers(min_value=0, max_value=15),      # flag soup
+        st.integers(min_value=0, max_value=1460),    # payload
+    ),
+    min_size=1, max_size=30))
+def test_garbage_segments_never_crash_the_server(segments):
+    from tests.test_core_lifecycle import make_server
+    sim = Simulator()
+    server = make_server(sim)
+    server.nic.send = lambda frame: None
+    for sport, dport, seq, ack, flags, payload in segments:
+        seg = TCPSegment(sport, dport, seq, ack, flags, payload)
+        frame = EthFrame(None, server.nic.mac, ETHERTYPE_IP,
+                         IPDatagram("10.1.0.1", server.ip, IPPROTO_TCP,
+                                    seg))
+        server.eth.on_frame(frame)
+    sim.run(until=sim.now + seconds_to_ticks(0.2))
+    # The server is still alive and its accounting is intact.
+    passive = server.http.passive_paths[0]
+    assert not passive.destroyed
+    assert passive.policy_state["syn_recvd"] >= 0
+
+
+# ----------------------------------------------------------------------
+# IOBuffer cache: reuse preserves total page accounting
+# ----------------------------------------------------------------------
+@SLOW
+@given(st.lists(st.booleans(), min_size=1, max_size=40))
+def test_iobuf_cache_conserves_pages(lock_after):
+    from repro.kernel.owner import make_kernel_owner
+    from repro.kernel.iobuffer import IOBufferCache
+    allocator = PageAllocator(64)
+    cache = IOBufferCache(allocator, make_kernel_owner(),
+                          cache_capacity_pages=8)
+    pd = ProtectionDomain("pd")
+    live = []
+    for do_lock in lock_after:
+        if allocator.free_pages < 2:
+            break
+        buf, _ = cache.alloc(100, pd, pd)
+        if do_lock:
+            cache.lock(buf, pd)
+            live.append(buf)
+        else:
+            cache.lock(buf, pd)
+            cache.unlock(buf, pd)
+    # Accounting identity: allocated = pd-held + cache-held.
+    held = sum(b.pages for b in live)
+    cached = cache._cached_pages
+    assert len(allocator.allocated) == held + cached
+    assert pd.usage.pages == held
+
+
+# ----------------------------------------------------------------------
+# TCP reliability under arbitrary loss patterns
+# ----------------------------------------------------------------------
+@SLOW
+@given(st.integers(min_value=0, max_value=2 ** 30),
+       st.integers(min_value=200, max_value=30_000))
+def test_tcp_delivers_everything_despite_random_loss(seed, nbytes):
+    """Property: whatever segments the network eats, the receiver ends up
+    with exactly the sent byte count, in order, no duplicates delivered."""
+    import random as _random
+    from repro.sim.clock import millis_to_ticks
+
+    rng = _random.Random(seed)
+    sim = Simulator()
+    client, server = make_pair(sim)
+    sim.run(until=millis_to_ticks(10))
+
+    # Drop ~20% of the server's data segments, deterministically.
+    original_apply = server.apply
+
+    def lossy_apply(actions):
+        for seg in list(actions.segments):
+            if seg.payload_len and rng.random() < 0.2:
+                server.drop_next += 1
+        original_apply(actions)
+
+    server.apply = lossy_apply
+    server.apply(server.engine.send(nbytes))
+    sim.run(until=sim.now + millis_to_ticks(120_000))
+    assert sum(n for n, _ in client.delivered) == nbytes

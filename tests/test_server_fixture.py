@@ -1,0 +1,85 @@
+"""Fixture sanity: the web-server assembly itself.
+
+These tests pin down configuration-time behaviour: domain placement per
+configuration, the module graph's shape, boot-time path creation.
+"""
+
+import pytest
+
+from repro.sim.clock import seconds_to_ticks
+from repro.sim.engine import Simulator
+from repro.server.webserver import DEFAULT_DOCUMENTS, ScoutWebServer
+
+
+@pytest.fixture
+def booted(sim):
+    server = ScoutWebServer(sim, accounting=True)
+    server.boot()
+    sim.run(until=seconds_to_ticks(0.05))
+    return server
+
+
+def test_single_domain_configs_share_privileged(sim):
+    server = ScoutWebServer(sim, protection_domains=False)
+    pds = {m.pd for m in server.graph.modules()}
+    assert pds == {server.kernel.privileged_domain}
+
+
+def test_pd_config_isolates_every_module(sim):
+    server = ScoutWebServer(sim, protection_domains=True)
+    pds = {m.pd for m in server.graph.modules()}
+    assert len(pds) == 9  # one per module (incl. ICMP, UDP)
+    assert server.kernel.privileged_domain not in pds
+
+
+def test_graph_matches_figure_1(sim):
+    server = ScoutWebServer(sim)
+    g = server.graph
+    assert g.connected("eth", "arp")
+    assert g.connected("eth", "ip")
+    assert g.connected("ip", "tcp")
+    assert g.connected("tcp", "http")
+    assert g.connected("http", "fs")
+    assert g.connected("fs", "scsi")
+    assert not g.connected("eth", "tcp")  # no shortcuts
+    assert not g.connected("http", "scsi")
+
+
+def test_boot_creates_passive_and_arp_paths(booted):
+    assert len(booted.http.passive_paths) == 1
+    passive = booted.http.passive_paths[0]
+    names = [s.module.name for s in passive.stages]
+    assert names == ["eth", "ip", "tcp", "http"]
+    arp_path = booted.arp.arp_path
+    assert [s.module.name for s in arp_path.stages] == ["eth", "arp"]
+
+
+def test_listener_registered_for_port_80(booted):
+    assert 80 in booted.tcp.listeners
+    listener = booted.tcp.listeners[80]
+    assert listener.select("1.2.3.4") is booted.http.passive_paths[0]
+
+
+def test_default_documents_present(booted):
+    for uri in DEFAULT_DOCUMENTS:
+        assert uri in booted.fs.documents
+
+
+def test_describe_names_the_configuration(sim):
+    assert "Accounting_PD" in ScoutWebServer(
+        sim, protection_domains=True).describe()
+    s2 = Simulator()
+    assert "Scout" in ScoutWebServer(s2, accounting=False).describe()
+
+
+def test_double_boot_is_idempotent(booted, sim):
+    booted.boot()  # second call: no duplicate passive paths
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert len(booted.http.passive_paths) == 1
+
+
+def test_ip_routing_table_charged_to_ip_domain(booted):
+    # The paper's canonical example: the routing table is charged to the
+    # protection domain running IP, not to any flow.
+    assert booted.ip_mod.pd.usage.heap_bytes > 0
+    assert booted.ip_mod.routes

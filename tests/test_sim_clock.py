@@ -1,0 +1,54 @@
+"""Unit tests for the simulated time units."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim import clock
+
+
+def test_server_cycle_is_exact():
+    assert clock.SERVER_TICKS_PER_CYCLE * clock.SERVER_CYCLE_HZ \
+        == clock.TICKS_PER_SECOND
+
+
+def test_client_cycle_is_exact():
+    assert clock.CLIENT_TICKS_PER_CYCLE * clock.CLIENT_CYCLE_HZ \
+        == clock.TICKS_PER_SECOND
+
+
+def test_ethernet_bit_is_exact():
+    assert clock.TICKS_PER_ETHERNET_BIT * 100_000_000 \
+        == clock.TICKS_PER_SECOND
+
+
+def test_seconds_round_trip():
+    assert clock.seconds_to_ticks(1.0) == clock.TICKS_PER_SECOND
+    assert clock.ticks_to_seconds(clock.TICKS_PER_SECOND) == 1.0
+
+
+def test_millis_and_micros():
+    assert clock.millis_to_ticks(1) == clock.TICKS_PER_SECOND // 1000
+    assert clock.micros_to_ticks(1) == clock.TICKS_PER_SECOND // 1_000_000
+    assert clock.millis_to_ticks(2.5) == 2.5 * clock.TICKS_PER_SECOND / 1000
+
+
+def test_server_cycle_conversions_round_trip():
+    for cycles in (0, 1, 7, 1_000_000):
+        ticks = clock.server_cycles_to_ticks(cycles)
+        assert clock.ticks_to_server_cycles(ticks) == cycles
+
+
+def test_partial_cycle_rounds_up():
+    one_cycle = clock.SERVER_TICKS_PER_CYCLE
+    assert clock.ticks_to_server_cycles(one_cycle - 1) == 1
+    assert clock.ticks_to_server_cycles(one_cycle + 1) == 2
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_cycle_conversion_exact_for_all_counts(cycles):
+    assert clock.ticks_to_server_cycles(
+        clock.server_cycles_to_ticks(cycles)) == cycles
+
+
+@given(st.floats(min_value=0, max_value=3600, allow_nan=False))
+def test_seconds_to_ticks_monotone(s):
+    assert clock.seconds_to_ticks(s) <= clock.seconds_to_ticks(s + 1.0)

@@ -1,0 +1,83 @@
+"""Tests for the cost model itself."""
+
+import pytest
+from dataclasses import replace
+
+from repro.sim.clock import SERVER_CYCLE_HZ
+from repro.sim.costs import CostModel
+
+
+def test_default_returns_independent_instances():
+    a = CostModel.default()
+    b = CostModel.default()
+    assert a is not b
+    a.pd_crossing = 1
+    assert b.pd_crossing != 1
+
+
+def test_copy_cost_scales_linearly():
+    costs = CostModel.default()
+    assert costs.copy_cost(0) == 0
+    one_kb = costs.copy_cost(1024)
+    two_kb = costs.copy_cost(2048)
+    assert two_kb == 2 * one_kb
+    assert one_kb > 0
+
+
+def test_disk_transfer_time_matches_rate():
+    costs = CostModel.default()
+    # 10 MB/s at 600 M ticks/s => 60 ticks per byte.
+    assert costs.disk_transfer_ticks(1) == 60
+    assert costs.disk_transfer_ticks(10 * 1024) == 60 * 10 * 1024
+
+
+def test_replace_produces_variant_models():
+    base = CostModel.default()
+    cheap = replace(base, pd_crossing=base.pd_crossing // 2)
+    assert cheap.pd_crossing == base.pd_crossing // 2
+    assert cheap.tcp_rx_segment == base.tcp_rx_segment
+
+
+def test_calibration_sanity_scout_request_budget():
+    """The headline calibration: a 1-byte request's server-side work must
+    land near 300e6/800 cycles (the Scout plateau of Figure 8)."""
+    costs = CostModel.default()
+    # A rough static sum of the per-request cost centres (see costs.py
+    # provenance comments): 5 inbound packets, 3 outbound, create+destroy.
+    per_in = (costs.eth_rx_interrupt + 3 * costs.demux_per_module
+              + costs.thread_switch + costs.eth_rx + costs.ip_rx)
+    request = (
+        5 * per_in
+        + 2 * costs.tcp_rx_segment + 2 * costs.tcp_rx_ack
+        + 3 * costs.tcp_handshake_step
+        + costs.http_parse_request + costs.http_build_response
+        + costs.fs_lookup + costs.fs_read_cached
+        + 2 * costs.tcp_tx_segment + 2 * (costs.ip_tx + costs.eth_tx)
+        + costs.path_create_kernel + 6 * costs.module_open
+        + 6 * costs.module_destroy + costs.path_teardown_kernel)
+    target = SERVER_CYCLE_HZ / 800
+    assert target * 0.6 <= request <= target * 1.4, request
+
+
+def test_runaway_limit_is_2ms_of_cycles():
+    # The CGI policy's 2 ms at 300 MHz must be exactly 600k cycles.
+    assert int(2.0 * SERVER_CYCLE_HZ / 1000) == 600_000
+
+
+def test_softclock_period_is_one_millisecond():
+    from repro.sim.clock import millis_to_ticks
+    costs = CostModel.default()
+    assert costs.softclock_period_ticks == millis_to_ticks(1)
+
+
+def test_kill_cost_reference_values():
+    """Pin the Table 2 calibration so accidental cost edits get caught."""
+    costs = CostModel.default()
+    accounting_kill = (costs.kill_base + 2 * costs.kill_per_thread
+                       + 4 * costs.kill_per_stack + costs.kill_per_event
+                       + costs.kill_per_heap_alloc)
+    assert accounting_kill == pytest.approx(17_951, rel=0.05)
+    pd_kill = (costs.kill_base + 2 * costs.kill_per_thread
+               + 14 * costs.kill_per_stack + costs.kill_per_event
+               + costs.kill_per_heap_alloc + 6 * costs.kill_per_domain)
+    assert pd_kill == pytest.approx(111_568, rel=0.05)

@@ -1,0 +1,82 @@
+"""Tests for the execution tracer."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceEvent, Tracer
+from repro.experiments.harness import Testbed
+from repro.policy import RunawayPolicy
+
+
+def test_record_and_filter():
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=100)
+    tracer.record("demux", "passive-0", "3 modules")
+    sim.run(until=1000)
+    tracer.record("kill", "conn-1", "18200 cycles")
+    assert len(tracer) == 2
+    kills = tracer.events(kinds={"kill"})
+    assert len(kills) == 1
+    assert kills[0].tick == 1000
+    assert tracer.events(subject_contains="passive")[0].kind == "demux"
+
+
+def test_ring_buffer_bounds():
+    tracer = Tracer(Simulator(), capacity=5)
+    for i in range(12):
+        tracer.record("x", f"s{i}")
+    assert len(tracer) == 5
+    assert tracer.dropped == 7
+    assert tracer.events()[0].subject == "s7"
+    assert "dropped 7" in tracer.dump()
+
+
+def test_counts_and_clear():
+    tracer = Tracer(Simulator())
+    tracer.record("a", "1")
+    tracer.record("a", "2")
+    tracer.record("b", "3")
+    assert tracer.counts == {"a": 2, "b": 1}
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.counts == {}
+
+
+def test_disable():
+    tracer = Tracer(Simulator())
+    tracer.enabled = False
+    tracer.record("a", "1")
+    assert len(tracer) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Tracer(Simulator(), capacity=0)
+
+
+def test_event_str_format():
+    event = TraceEvent(600_000_000, "kill", "conn-1", "fast")
+    text = str(event)
+    assert "1.000000" in text
+    assert "kill" in text and "conn-1" in text and "fast" in text
+
+
+def test_instrumented_server_records_everything():
+    bed = Testbed.escort(policies=[RunawayPolicy(2.0)])
+    tracer = Tracer(bed.sim, capacity=50_000)
+    tracer.instrument_server(bed.server)
+    bed.add_clients(2, document="/doc-1")
+    bed.add_cgi_attackers(1)
+    bed.run(warmup_s=0.3, measure_s=1.5)
+
+    assert tracer.counts.get("demux", 0) > 50
+    assert tracer.counts.get("path-create", 0) > 10
+    assert tracer.counts.get("kill", 0) >= 1
+
+    creates = tracer.events(kinds={"path-create"})
+    # Stage chains are recorded for each created path.
+    assert any("eth-ip-tcp-http-fs-scsi" in e.detail for e in creates)
+    kills = tracer.events(kinds={"kill"})
+    assert all("cycles" in e.detail for e in kills)
+    # And the server still works with the wrappers installed.
+    assert bed.server.http.requests_served > 0

@@ -1,0 +1,81 @@
+"""Tests for the mixed-workload generator."""
+
+import pytest
+
+from repro.experiments.harness import Testbed
+from repro.workload.generator import (
+    MixedWorkloadClient,
+    add_mixed_clients,
+    make_corpus,
+    zipf_weights,
+)
+
+
+def test_zipf_weights_normalized_and_decreasing():
+    weights = zipf_weights(20, alpha=1.0)
+    assert sum(weights) == pytest.approx(1.0)
+    assert all(a >= b for a, b in zip(weights, weights[1:]))
+    with pytest.raises(ValueError):
+        zipf_weights(0)
+
+
+def test_zipf_alpha_steepness():
+    flat = zipf_weights(10, alpha=0.5)
+    steep = zipf_weights(10, alpha=2.0)
+    assert steep[0] > flat[0]          # steeper head
+    assert steep[-1] < flat[-1]        # thinner tail
+
+
+def test_corpus_deterministic_and_bounded():
+    a = make_corpus(n_documents=30, seed=3)
+    b = make_corpus(n_documents=30, seed=3)
+    assert a == b
+    assert len(a) == 30
+    assert all(128 <= size <= 64 * 1024 for size in a.values())
+
+
+def test_mixed_clients_serve_a_spread_of_documents():
+    bed = Testbed.escort()
+    clients = add_mixed_clients(bed, 6, alpha=1.0)
+    result = bed.run(warmup_s=0.4, measure_s=1.2)
+    assert result.client_completions > 100
+    assert result.client_failures == 0
+    fetched = {}
+    for client in clients:
+        for doc, count in client.per_document_counts.items():
+            fetched[doc] = fetched.get(doc, 0) + count
+    # The mix really is a mix: multiple distinct documents, and the
+    # head of the distribution dominates the tail.
+    assert len(fetched) >= 5
+    ranked = sorted(fetched.items())
+    head = fetched.get("/site/page-001", 0)
+    tail = fetched.get(max(fetched), 0)
+    assert head >= tail
+
+
+def test_mixed_clients_can_sprinkle_cgi():
+    bed = Testbed.escort()
+    add_mixed_clients(bed, 3, cgi_fraction=0.3)
+    bed.run(warmup_s=0.4, measure_s=1.0)
+    assert bed.server.http.cgi_spawned > 0
+    assert bed.server.http.requests_served > 0
+
+
+def test_mixed_client_validation():
+    bed = Testbed.escort()
+    with pytest.raises(ValueError):
+        MixedWorkloadClient(bed.sim, "10.1.3.9", bed.server.ip,
+                            ["/a"], [0.5, 0.5])
+    with pytest.raises(ValueError):
+        MixedWorkloadClient(bed.sim, "10.1.3.9", bed.server.ip,
+                            ["/a"], [1.0], cgi_fraction=1.5)
+
+
+def test_fs_cache_handles_the_whole_corpus():
+    """After warmup the corpus is served from the IOBuffer cache."""
+    bed = Testbed.escort()
+    add_mixed_clients(bed, 4, alpha=0.8)
+    bed.run(warmup_s=0.6, measure_s=1.0)
+    fs = bed.server.fs
+    assert fs.cache_hits > fs.disk_reads
+    assert fs.cache_bytes() > 0
