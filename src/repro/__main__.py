@@ -2,19 +2,64 @@
 
 Prints the system inventory, boots one of each server configuration for a
 quick sanity run, and points at the longer drivers.
+
+``python -m repro chaos`` runs the chaos scenarios (see ``--list``).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+
+
+def chaos_main(argv) -> int:
+    """``python -m repro chaos [--scenario NAME] [--seed N] [--list]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Run seeded chaos scenarios against the Escort server.")
+    parser.add_argument("--scenario", "-s", default=None,
+                        help="scenario name (default: run every scenario)")
+    parser.add_argument("--seed", "-n", type=int, default=1,
+                        help="fault-schedule seed (default 1); the same "
+                             "scenario+seed always reproduces the same run")
+    parser.add_argument("--list", "-l", action="store_true",
+                        dest="list_them", help="list scenarios and exit")
+    args = parser.parse_args(argv)
+
+    from repro.chaos import list_scenarios, run_scenario
+
+    if args.list_them:
+        for name, description in list_scenarios():
+            print(f"{name}")
+            print(f"    {description}")
+        return 0
+
+    names = ([args.scenario] if args.scenario
+             else [n for n, _ in list_scenarios()])
+    failed = 0
+    for name in names:
+        try:
+            report = run_scenario(name, seed=args.seed)
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
+        print(report.summary())
+        print()
+        if not report.ok:
+            failed += 1
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
     """Run the guided tour; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     if argv and argv[0] in ("-h", "--help"):
         print(__doc__)
         print("usage: python -m repro [--smoke]")
+        print("       python -m repro chaos [--scenario NAME] [--seed N] "
+              "[--list]")
         return 0
 
     from repro import __version__

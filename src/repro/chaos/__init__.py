@@ -1,0 +1,62 @@
+"""Chaos engineering for the Escort reproduction.
+
+The paper's claim is not "Escort is fast" but "Escort *stays up and fair*
+under hostile load".  This package turns that claim into a continuously
+checked property:
+
+* :mod:`repro.chaos.schedule` — seeded, deterministic fault schedules, so
+  every chaos run is replayable from ``(scenario, seed)`` alone;
+* :mod:`repro.chaos.inject` — injectors for every layer of the simulated
+  machine: module exceptions mid-path, page and IOBuffer allocation
+  failures, stuck threads inside a protection domain, softclock skew, and
+  link flaps;
+* :mod:`repro.chaos.watchdog` — the kernel watchdog: detects owners that
+  blow their cycle/page budgets or threads that stop making progress, and
+  responds with an escalating pathKill → domain-teardown ladder with
+  exponential backoff, plus admission-control shedding when the kernel
+  saturates (graceful degradation instead of collapse);
+* :mod:`repro.chaos.invariants` — the invariant checker: asserts the
+  paper's conservation properties (cycles charged == cycles consumed,
+  everything a dead owner held is reclaimed, no orphaned events or
+  threads) *during* every chaos run;
+* :mod:`repro.chaos.recovery` — graceful-degradation recovery: rebuilds a
+  crashed protection domain and resurrects the listening service;
+* :mod:`repro.chaos.scenarios` — canned, CLI-runnable chaos scenarios
+  (``python -m repro chaos --list``).
+"""
+
+from repro.chaos.schedule import (
+    ALL_FAULT_KINDS,
+    CLOCK_SKEW,
+    DOMAIN_CRASH,
+    IOBUF_FAIL,
+    LINK_FLAP,
+    MODULE_EXCEPTION,
+    PAGE_PRESSURE,
+    STUCK_THREAD,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.chaos.inject import ChaosFault, ChaosInjector
+from repro.chaos.invariants import InvariantChecker, Violation
+from repro.chaos.recovery import DomainRecovery
+from repro.chaos.scenarios import (
+    ChaosReport,
+    ChaosScenario,
+    SCENARIOS,
+    list_scenarios,
+    run_scenario,
+)
+from repro.chaos.watchdog import Watchdog, WatchdogAction
+
+__all__ = [
+    "ALL_FAULT_KINDS", "CLOCK_SKEW", "DOMAIN_CRASH", "IOBUF_FAIL",
+    "LINK_FLAP", "MODULE_EXCEPTION", "PAGE_PRESSURE", "STUCK_THREAD",
+    "FaultEvent", "FaultSchedule",
+    "ChaosFault", "ChaosInjector",
+    "InvariantChecker", "Violation",
+    "DomainRecovery",
+    "ChaosReport", "ChaosScenario", "SCENARIOS",
+    "list_scenarios", "run_scenario",
+    "Watchdog", "WatchdogAction",
+]

@@ -1,0 +1,281 @@
+"""Fault injectors for every layer of the simulated machine.
+
+:class:`ChaosInjector` takes a :class:`~repro.chaos.schedule.FaultSchedule`
+and arms it against a running :class:`~repro.server.webserver.ScoutWebServer`:
+each event fires at its scheduled simulated time and perturbs one layer —
+
+* ``module-exception`` — the target module's ``forward`` raises
+  :class:`ChaosFault` mid-path with the event's probability (active paths
+  only; listeners are configuration, not request processing);
+* ``page-pressure`` — a ballast owner grabs a fraction of the free page
+  pool, pushing real allocations toward ``ResourceLimitError``;
+* ``iobuf-fail`` — IOBuffer allocations fail probabilistically;
+* ``stuck-thread`` — a sacrificial protection domain spawns a thread that
+  consumes cycles forever without yielding: the watchdog must notice and
+  tear it down, or the machine is gone (non-preemptive threads);
+* ``clock-skew`` — the softclock runs at a scaled period;
+* ``link-flap`` — the attached network :class:`FaultInjector` takes the
+  link down for the event's duration;
+* ``domain-crash`` — the named protection domain is destroyed outright,
+  taking every crossing path with it.
+
+All probabilistic decisions use an RNG derived from the schedule's seed, so
+a chaos run is a pure function of ``(scenario, seed)``.  Arming the
+injector also enables kernel fault containment — injected exceptions must
+kill paths, not the simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.sim.clock import seconds_to_ticks, ticks_to_seconds
+from repro.kernel.errors import EscortError, ResourceLimitError
+from repro.kernel.owner import Owner, OwnerType
+from repro.sim.cpu import Cycles
+from repro.chaos.schedule import (
+    CLOCK_SKEW,
+    DOMAIN_CRASH,
+    IOBUF_FAIL,
+    LINK_FLAP,
+    MODULE_EXCEPTION,
+    PAGE_PRESSURE,
+    STUCK_THREAD,
+    FaultEvent,
+    FaultSchedule,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fault import FaultInjector
+    from repro.server.webserver import ScoutWebServer
+
+#: Cycles per loop iteration of an injected stuck thread.
+STUCK_BURN_CYCLES = 25_000
+
+
+class ChaosFault(EscortError):
+    """The exception injected into module code by ``module-exception``."""
+
+
+class ChaosInjector:
+    """Arms a fault schedule against a running server."""
+
+    def __init__(self, server: "ScoutWebServer", schedule: FaultSchedule,
+                 fault_injector: Optional["FaultInjector"] = None):
+        self.server = server
+        self.kernel = server.kernel
+        self.sim = server.sim
+        self.schedule = schedule
+        self.fault_injector = fault_injector
+        # Independent stream from the schedule's, same seed family.
+        self.rng = random.Random(schedule.seed ^ 0x5EED)
+        self.injected: Dict[str, int] = {}
+        self.skipped: Dict[str, int] = {}
+        self.log: List[str] = []
+        self._armed = False
+        # module name -> current injected exception probability.
+        self._exc_prob: Dict[str, float] = {}
+        # module name -> original forward (for disarm).
+        self._patched_forward: Dict[str, object] = {}
+        self._iobuf_fail_prob = 0.0
+        self._orig_iobuf_alloc = None
+        self._stuck_domains: List = []
+        self._ballast: List[Owner] = []
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every fault event relative to *now*."""
+        if self._armed:
+            raise EscortError("chaos injector already armed")
+        self._armed = True
+        # Chaos without containment would crash the simulator on the first
+        # injected exception; a real Escort kernel always contains.
+        self.kernel.enable_fault_containment()
+        for ev in self.schedule:
+            self.sim.schedule(seconds_to_ticks(ev.at_s),
+                              lambda e=ev: self._fire(e))
+
+    def disarm(self) -> None:
+        """Restore patched kernel/module entry points and free ballast."""
+        for name, orig in self._patched_forward.items():
+            self.server.graph.find(name).forward = orig
+        self._patched_forward.clear()
+        self._exc_prob.clear()
+        if self._orig_iobuf_alloc is not None:
+            self.kernel.iobufs.alloc = self._orig_iobuf_alloc
+            self._orig_iobuf_alloc = None
+        self._iobuf_fail_prob = 0.0
+        for ballast in self._ballast:
+            self.kernel.allocator.reclaim_all(ballast)
+        self._ballast.clear()
+        self.kernel.softclock.period_scale = 1.0
+        if self.fault_injector is not None:
+            self.fault_injector.set_link(True)
+
+    # ------------------------------------------------------------------
+    def _fire(self, ev: FaultEvent) -> None:
+        handler = {
+            MODULE_EXCEPTION: self._inject_module_exception,
+            PAGE_PRESSURE: self._inject_page_pressure,
+            IOBUF_FAIL: self._inject_iobuf_fail,
+            STUCK_THREAD: self._inject_stuck_thread,
+            CLOCK_SKEW: self._inject_clock_skew,
+            LINK_FLAP: self._inject_link_flap,
+            DOMAIN_CRASH: self._inject_domain_crash,
+        }[ev.kind]
+        handler(ev)
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def _skip(self, kind: str, why: str) -> None:
+        self.skipped[kind] = self.skipped.get(kind, 0) + 1
+        self._note(f"skipped {kind}: {why}")
+
+    def _note(self, msg: str) -> None:
+        self.log.append(f"[{ticks_to_seconds(self.sim.now):.6f}s] {msg}")
+
+    def _after(self, duration_s: float, fn) -> None:
+        self.sim.schedule(seconds_to_ticks(duration_s), fn)
+
+    # ------------------------------------------------------------------
+    # Layer injectors
+    # ------------------------------------------------------------------
+    def _inject_module_exception(self, ev: FaultEvent) -> None:
+        name = ev.target
+        if name not in self.server.graph:
+            self._skip(MODULE_EXCEPTION, f"no module {name!r}")
+            return
+        self._patch_forward(name)
+        self._exc_prob[name] = ev.magnitude
+        self._count(MODULE_EXCEPTION)
+        self._note(f"module {name} raising with p={ev.magnitude:.2f} "
+                   f"for {ev.duration_s:.3f}s")
+        self._after(ev.duration_s,
+                    lambda: self._exc_prob.__setitem__(name, 0.0))
+
+    def _patch_forward(self, name: str) -> None:
+        """Interpose on the module's forward exactly once per run; the
+        live probability is looked up per call, so overlapping events
+        compose by overwriting it."""
+        if name in self._patched_forward:
+            return
+        module = self.server.graph.find(name)
+        orig = module.forward
+        self._patched_forward[name] = orig
+
+        def chaotic_forward(stage, msg, _orig=orig, _name=name):
+            prob = self._exc_prob.get(_name, 0.0)
+            if (prob and not stage.state.get("listen")
+                    and self.rng.random() < prob):
+                raise ChaosFault(f"injected exception in {_name} "
+                                 f"on {stage.path.name}")
+            return _orig(stage, msg)
+
+        module.forward = chaotic_forward
+
+    def _inject_page_pressure(self, ev: FaultEvent) -> None:
+        allocator = self.kernel.allocator
+        want = int(allocator.free_pages * min(ev.magnitude, 1.0))
+        if want <= 0:
+            self._skip(PAGE_PRESSURE, "no free pages to squat on")
+            return
+        ballast = Owner(OwnerType.KERNEL, name=f"chaos-ballast-{ev.at_s:g}")
+        self._ballast.append(ballast)
+        allocator.alloc(ballast, count=want)
+        self._count(PAGE_PRESSURE)
+        self._note(f"page pressure: {want} pages held "
+                   f"for {ev.duration_s:.3f}s "
+                   f"({allocator.free_pages} left free)")
+
+        def release() -> None:
+            freed = allocator.reclaim_all(ballast)
+            if ballast in self._ballast:
+                self._ballast.remove(ballast)
+            self._note(f"page pressure released ({freed} pages)")
+
+        self._after(ev.duration_s, release)
+
+    def _inject_iobuf_fail(self, ev: FaultEvent) -> None:
+        if self._orig_iobuf_alloc is None:
+            orig = self.kernel.iobufs.alloc
+            self._orig_iobuf_alloc = orig
+
+            def failing_alloc(nbytes, owner, current_pd, read_pds=()):
+                if (self._iobuf_fail_prob
+                        and self.rng.random() < self._iobuf_fail_prob):
+                    raise ResourceLimitError(
+                        "chaos: IOBuffer allocation failed")
+                return orig(nbytes, owner, current_pd, read_pds)
+
+            self.kernel.iobufs.alloc = failing_alloc
+        self._iobuf_fail_prob = ev.magnitude
+        self._count(IOBUF_FAIL)
+        self._note(f"IOBuffer allocs failing with p={ev.magnitude:.2f} "
+                   f"for {ev.duration_s:.3f}s")
+
+        def restore() -> None:
+            self._iobuf_fail_prob = 0.0
+
+        self._after(ev.duration_s, restore)
+
+    def _inject_stuck_thread(self, ev: FaultEvent) -> None:
+        n = len(self._stuck_domains) + 1
+        pd = self.kernel.create_domain(f"chaos-stuck-{n}")
+        self._stuck_domains.append(pd)
+
+        def looper():
+            # Consumes forever, never yields the CPU — on a non-preemptive
+            # kernel only the watchdog can end this.
+            while True:
+                yield Cycles(STUCK_BURN_CYCLES)
+
+        self.kernel.spawn_thread(pd, looper(), name=f"stuck-{n}")
+        self._count(STUCK_THREAD)
+        self._note(f"stuck thread spawned in {pd.name}")
+
+    def _inject_clock_skew(self, ev: FaultEvent) -> None:
+        softclock = self.kernel.softclock
+        softclock.period_scale = ev.magnitude
+        self._count(CLOCK_SKEW)
+        self._note(f"softclock skewed x{ev.magnitude:g} "
+                   f"for {ev.duration_s:.3f}s")
+
+        def restore() -> None:
+            softclock.period_scale = 1.0
+
+        self._after(ev.duration_s, restore)
+
+    def _inject_link_flap(self, ev: FaultEvent) -> None:
+        if self.fault_injector is None:
+            self._skip(LINK_FLAP, "no network FaultInjector attached")
+            return
+        self.fault_injector.set_link(False)
+        self._count(LINK_FLAP)
+        self._note(f"link down for {ev.duration_s:.3f}s")
+        self._after(ev.duration_s,
+                    lambda: self.fault_injector.set_link(True))
+
+    def _inject_domain_crash(self, ev: FaultEvent) -> None:
+        pd = next((d for d in self.kernel.domains
+                   if d.name == ev.target and not d.privileged
+                   and not d.destroyed), None)
+        if pd is None:
+            self._skip(DOMAIN_CRASH,
+                       f"no live unprivileged domain {ev.target!r}")
+            return
+        reports = self.kernel.destroy_domain(pd)
+        self._count(DOMAIN_CRASH)
+        self._note(f"crashed {pd.name} "
+                   f"({len(reports) - 1} crossing paths killed)")
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        inj = ", ".join(f"{k}={v}" for k, v in sorted(self.injected.items()))
+        out = f"chaos: injected [{inj or 'nothing'}]"
+        if self.skipped:
+            skp = ", ".join(f"{k}={v}"
+                            for k, v in sorted(self.skipped.items()))
+            out += f", skipped [{skp}]"
+        return out

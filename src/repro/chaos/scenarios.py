@@ -1,0 +1,313 @@
+"""Canned chaos scenarios: the full harness, runnable from the CLI.
+
+Each scenario builds a Figure-7 testbed, runs it through five phases —
+
+1. **boot + warmup**: the server comes up and well-behaved load settles;
+2. **chaos**: the fault schedule fires (plus whatever attack the scenario
+   layers on top), with the watchdog and the invariant checker running;
+3. **recovery**: injection stops; the watchdog finishes its kills, backoff
+   shedding expires, the service is revived if it died;
+4. **probe**: *fresh* well-behaved clients attach and must complete
+   requests — the server has to still be answering;
+5. **verdict**: a :class:`ChaosReport` — pass requires zero invariant
+   violations, at least one full detect → kill → recover watchdog cycle,
+   and probe completions.
+
+``run_scenario(name, seed)`` is the whole API; the same ``(name, seed)``
+always reproduces the same run.  Exposed on the command line as
+``python -m repro chaos --scenario <name> --seed <n>`` (and ``--list``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.clock import micros_to_ticks, seconds_to_ticks
+from repro.experiments.harness import TRUSTED_SUBNET, Testbed
+from repro.net.fault import FaultInjector
+from repro.policy.synflood import SynFloodPolicy
+from repro.chaos.inject import ChaosInjector
+from repro.chaos.invariants import InvariantChecker, Violation
+from repro.chaos.recovery import DomainRecovery
+from repro.chaos.schedule import (
+    CLOCK_SKEW,
+    DOMAIN_CRASH,
+    IOBUF_FAIL,
+    LINK_FLAP,
+    MODULE_EXCEPTION,
+    PAGE_PRESSURE,
+    STUCK_THREAD,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.chaos.watchdog import Watchdog, WatchdogAction
+
+
+@dataclass
+class ChaosReport:
+    """The outcome of one chaos run."""
+
+    scenario: str
+    seed: int
+    ok: bool
+    service_alive: bool
+    recovery_cycle: bool
+    completions_after: int
+    faults_injected: Dict[str, int]
+    faults_skipped: Dict[str, int]
+    violations: List[Violation]
+    watchdog_log: List[WatchdogAction]
+    sheds: int
+    fault_traps: int
+    kills: int
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [f"[{verdict}] {self.scenario} seed={self.seed}"]
+        inj = ", ".join(f"{k}={v}"
+                        for k, v in sorted(self.faults_injected.items()))
+        lines.append(f"  injected: {inj or 'nothing'}")
+        if self.faults_skipped:
+            skp = ", ".join(f"{k}={v}"
+                            for k, v in sorted(self.faults_skipped.items()))
+            lines.append(f"  skipped:  {skp}")
+        lines.append(f"  watchdog: {self.kills} kills, "
+                     f"{self.sheds} admissions shed, "
+                     f"{self.fault_traps} faults contained, "
+                     f"recovery cycle: "
+                     f"{'yes' if self.recovery_cycle else 'NO'}")
+        lines.append(f"  service:  "
+                     f"{'alive' if self.service_alive else 'DOWN'}, "
+                     f"{self.completions_after} probe request(s) completed")
+        if self.violations:
+            lines.append(f"  INVARIANT VIOLATIONS ({len(self.violations)}):")
+            lines += [f"    {v}" for v in self.violations]
+        else:
+            lines.append("  invariants: all held")
+        lines += [f"  note: {n}" for n in self.notes]
+        return "\n".join(lines)
+
+
+class ChaosScenario:
+    """One canned chaos scenario: a testbed builder plus a fault schedule.
+
+    ``build`` returns ``(testbed, fault_injector_or_None)``;
+    ``make_schedule`` returns the :class:`FaultSchedule` for one seed.
+    Phase lengths are simulated seconds.
+    """
+
+    def __init__(self, name: str, description: str, *,
+                 build: Callable[[int], Tuple[Testbed,
+                                              Optional[FaultInjector]]],
+                 make_schedule: Callable[[int, float], FaultSchedule],
+                 warmup_s: float = 0.25,
+                 chaos_s: float = 0.8,
+                 recovery_s: float = 0.5,
+                 probe_s: float = 0.6,
+                 watchdog_kwargs: Optional[dict] = None):
+        self.name = name
+        self.description = description
+        self.build = build
+        self.make_schedule = make_schedule
+        self.warmup_s = warmup_s
+        self.chaos_s = chaos_s
+        self.recovery_s = recovery_s
+        self.probe_s = probe_s
+        self.watchdog_kwargs = watchdog_kwargs or {}
+
+    # ------------------------------------------------------------------
+    def run(self, seed: int = 1) -> ChaosReport:
+        bed, net_injector = self.build(seed)
+        sim, server = bed.sim, bed.server
+        kernel = server.kernel
+
+        # Phase 1: boot and settle, then start the scenario's load.
+        server.boot()
+        sim.run(until=sim.now + seconds_to_ticks(0.01))
+        for client in bed.clients:
+            client.start()
+        for attacker in bed.cgi_attackers:
+            attacker.start()
+        if bed.syn_attacker is not None:
+            bed.syn_attacker.start()
+        sim.run(until=sim.now + seconds_to_ticks(self.warmup_s))
+
+        # Phase 2: chaos, observed by the watchdog and the checker.
+        recovery = DomainRecovery(server)
+        watchdog = Watchdog(kernel,
+                            service_probe=recovery.probe,
+                            service_revive=recovery.revive,
+                            **self.watchdog_kwargs)
+        watchdog.start()
+        checker = InvariantChecker(kernel)
+        checker.start(period_s=0.05)
+        chaos = ChaosInjector(server,
+                              self.make_schedule(seed, self.chaos_s),
+                              fault_injector=net_injector)
+        chaos.arm()
+        sim.run(until=sim.now + seconds_to_ticks(self.chaos_s))
+
+        # Phase 3: recovery — kills drain, backoff expires, service heals.
+        sim.run(until=sim.now + seconds_to_ticks(self.recovery_s))
+        chaos.disarm()
+
+        # Phase 4: fresh well-behaved clients must get answers.
+        probes = bed.add_clients(3)
+        for probe in probes:
+            probe.start()
+        probe_start = sim.now
+        sim.run(until=sim.now + seconds_to_ticks(self.probe_s))
+        completions = bed.stats.completions_in("client", probe_start,
+                                               sim.now)
+
+        # Phase 5: verdict.
+        checker.check_now()
+        checker.stop()
+        watchdog.stop()
+        service_alive = recovery.probe()
+        recovery_cycle = watchdog.saw_recovery_cycle()
+        ok = (checker.ok and recovery_cycle and service_alive
+              and completions > 0)
+        notes = list(chaos.log[-3:])
+        if recovery.recoveries:
+            notes.append(f"service revived {recovery.recoveries} time(s)")
+        return ChaosReport(
+            scenario=self.name,
+            seed=seed,
+            ok=ok,
+            service_alive=service_alive,
+            recovery_cycle=recovery_cycle,
+            completions_after=completions,
+            faults_injected=dict(chaos.injected),
+            faults_skipped=dict(chaos.skipped),
+            violations=list(checker.violations),
+            watchdog_log=list(watchdog.log),
+            sheds=kernel.sheds,
+            fault_traps=kernel.fault_traps,
+            kills=watchdog.kills,
+            notes=notes,
+        )
+
+
+# ----------------------------------------------------------------------
+# Scenario 1: SYN flood over a lossy, flapping network
+# ----------------------------------------------------------------------
+def _build_lossy_syn_flood(seed: int):
+    bed = Testbed.escort(
+        policies=[SynFloodPolicy(TRUSTED_SUBNET, untrusted_cap=64)])
+    injector = FaultInjector(bed.sim, bed.hub, seed=seed,
+                             drop_probability=0.05,
+                             duplicate_probability=0.05,
+                             extra_delay_ticks=micros_to_ticks(200),
+                             delay_probability=0.1,
+                             reorder_probability=0.03,
+                             corrupt_probability=0.02)
+    # The server's transmissions pass through the fault model; the SYN
+    # flood and client traffic arrive unmodified (their loss is the
+    # server's responses disappearing — the nastier case for TCP state).
+    bed.server.nic.medium = injector
+    bed.add_clients(4)
+    bed.add_syn_attacker(rate_per_second=300)
+    return bed, injector
+
+
+def _schedule_lossy_syn_flood(seed: int, chaos_s: float) -> FaultSchedule:
+    events = [
+        FaultEvent(0.10 * chaos_s, STUCK_THREAD),
+        FaultEvent(0.40 * chaos_s, LINK_FLAP, duration_s=0.03),
+        FaultEvent(0.60 * chaos_s, CLOCK_SKEW, duration_s=0.2,
+                   magnitude=2.0),
+    ]
+    events += FaultSchedule.random(
+        seed, chaos_s, kinds=(LINK_FLAP, CLOCK_SKEW),
+        rate_per_second=2.0).events
+    return FaultSchedule(events, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Scenario 2: runaway CGI attack while memory runs out
+# ----------------------------------------------------------------------
+def _build_oom_cgi(seed: int):
+    # Deliberately NO RunawayPolicy: the watchdog's cycle budget is the
+    # only defence against the looping CGI threads.
+    bed = Testbed.escort()
+    bed.add_clients(3)
+    bed.add_cgi_attackers(2, script="loop")
+    return bed, None
+
+
+def _schedule_oom_cgi(seed: int, chaos_s: float) -> FaultSchedule:
+    events = [
+        FaultEvent(0.15 * chaos_s, PAGE_PRESSURE, duration_s=0.3,
+                   magnitude=0.97),
+        FaultEvent(0.55 * chaos_s, IOBUF_FAIL, duration_s=0.15,
+                   magnitude=0.5),
+    ]
+    events += FaultSchedule.random(
+        seed, chaos_s, kinds=(MODULE_EXCEPTION, IOBUF_FAIL),
+        rate_per_second=2.0, exception_targets=("http", "fs")).events
+    return FaultSchedule(events, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Scenario 3: a protection domain crashes mid-transfer
+# ----------------------------------------------------------------------
+def _build_domain_crash(seed: int):
+    bed = Testbed.escort(protection_domains=True)
+    bed.add_clients(3)
+    return bed, None
+
+
+def _schedule_domain_crash(seed: int, chaos_s: float) -> FaultSchedule:
+    events = [
+        FaultEvent(0.25 * chaos_s, DOMAIN_CRASH, target="pd-http"),
+        FaultEvent(0.55 * chaos_s, STUCK_THREAD),
+        FaultEvent(0.70 * chaos_s, MODULE_EXCEPTION, target="http",
+                   duration_s=0.1, magnitude=0.5),
+    ]
+    return FaultSchedule(events, seed=seed)
+
+
+SCENARIOS: Dict[str, ChaosScenario] = {
+    "lossy-syn-flood": ChaosScenario(
+        "lossy-syn-flood",
+        "SYN flood from the untrusted subnet while the server's own "
+        "transmissions are dropped, duplicated, reordered, corrupted, "
+        "and the link flaps; plus a stuck thread and clock skew.",
+        build=_build_lossy_syn_flood,
+        make_schedule=_schedule_lossy_syn_flood),
+    "oom-cgi": ChaosScenario(
+        "oom-cgi",
+        "Runaway CGI attack with no static runaway policy — the watchdog "
+        "is the only defence — while ballast squeezes the page pool and "
+        "IOBuffer allocations fail.",
+        build=_build_oom_cgi,
+        make_schedule=_schedule_oom_cgi,
+        watchdog_kwargs={"shed_on_free_pages": 512,
+                         "shed_off_free_pages": 1024}),
+    "domain-crash": ChaosScenario(
+        "domain-crash",
+        "The HTTP protection domain is destroyed mid-run (killing every "
+        "crossing path, listeners included); recovery must rebuild the "
+        "domain and resurrect the service.",
+        build=_build_domain_crash,
+        make_schedule=_schedule_domain_crash),
+}
+
+
+def list_scenarios() -> List[Tuple[str, str]]:
+    """``[(name, description)]`` for the CLI."""
+    return [(s.name, s.description) for s in SCENARIOS.values()]
+
+
+def run_scenario(name: str, seed: int = 1) -> ChaosReport:
+    """Run one canned scenario; raises ``KeyError`` for unknown names."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") \
+            from None
+    return scenario.run(seed)

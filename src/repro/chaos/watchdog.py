@@ -1,0 +1,361 @@
+"""The kernel watchdog: detect, kill, back off, recover.
+
+Escort's static defences (runtime limits, per-subnet path quotas) each
+target one known attack.  The watchdog is the backstop for everything
+else: a periodic kernel scan that watches *symptoms* — an owner burning an
+outsized share of the CPU window, an owner hoarding pages, a thread that
+stays on the processor across scans without finishing, a page pool running
+dry — and responds with an escalating ladder:
+
+1. **pathKill** the offending owner (a path dies; the server lives);
+2. on repeat offenses from the same family of owners, **escalate** to
+   admission-control shedding for an exponentially growing backoff window
+   (new work is rejected cheaply while the kernel digests the damage);
+3. non-privileged **domains** that misbehave are torn down whole (their
+   crossing paths die with them, per the paper's teardown rule);
+4. the privileged domain and the kernel itself are never killed — the
+   watchdog sheds and logs instead.
+
+Every detection, kill, escalation, and verified recovery is logged as a
+:class:`WatchdogAction`, so tests can assert the full
+detect → kill → recover cycle actually happened.  The scan itself is
+charged to the kernel owner (``scan_cost_cycles`` per sweep) — the
+watchdog lives inside the machine and pays for its cycles, unlike the
+invariant checker, which observes from outside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.clock import (
+    SERVER_CYCLE_HZ,
+    seconds_to_ticks,
+    ticks_to_seconds,
+)
+from repro.sim.cpu import Interrupt, SimThread
+from repro.kernel.domain import ProtectionDomain
+from repro.kernel.kernel import Kernel, KillReport
+from repro.kernel.owner import Owner, OwnerType
+
+
+@dataclass
+class WatchdogAction:
+    """One entry in the watchdog's action log."""
+
+    at_s: float
+    kind: str       # detect | kill | escalate | recover | shed-on | shed-off | fault
+    subject: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        out = f"[{self.at_s:.6f}s] {self.kind}: {self.subject}"
+        return f"{out} — {self.detail}" if self.detail else out
+
+
+class Watchdog:
+    """Periodic kernel scan with an escalating kill/shed response.
+
+    Parameters
+    ----------
+    period_s:
+        Scan period in simulated seconds.
+    cycle_budget_fraction:
+        An owner consuming more than this fraction of one scan window's
+        CPU cycles is flagged (0.5 = half the machine).
+    page_budget:
+        An owner holding more pages than this is flagged.
+    stuck_scans:
+        A thread observed on the CPU for this many consecutive scans
+        without leaving is declared non-progressing.
+    escalate_after:
+        Offenses from the same owner-name family before escalating to
+        shedding.
+    backoff_s / backoff_max_s:
+        Initial shedding window; doubles per escalation up to the max.
+    shed_on_free_pages / shed_off_free_pages:
+        Hysteresis thresholds on the page pool for saturation shedding.
+    service_probe / service_revive:
+        Optional liveness hook: when ``service_probe()`` goes false the
+        watchdog logs a detection and calls ``service_revive()`` (wired to
+        :class:`repro.chaos.recovery.DomainRecovery` by the scenarios).
+    """
+
+    def __init__(self, kernel: Kernel,
+                 period_s: float = 0.05,
+                 cycle_budget_fraction: float = 0.5,
+                 page_budget: int = 1024,
+                 stuck_scans: int = 3,
+                 escalate_after: int = 2,
+                 backoff_s: float = 0.05,
+                 backoff_max_s: float = 0.8,
+                 scan_cost_cycles: int = 2_000,
+                 shed_on_free_pages: int = 64,
+                 shed_off_free_pages: int = 256,
+                 service_probe: Optional[Callable[[], bool]] = None,
+                 service_revive: Optional[Callable[[], None]] = None):
+        self.kernel = kernel
+        self.period_s = period_s
+        self.cycle_budget = int(cycle_budget_fraction
+                                * period_s * SERVER_CYCLE_HZ)
+        self.page_budget = page_budget
+        self.stuck_scans = stuck_scans
+        self.escalate_after = escalate_after
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self.scan_cost_cycles = scan_cost_cycles
+        self.shed_on_free_pages = shed_on_free_pages
+        self.shed_off_free_pages = shed_off_free_pages
+        self.service_probe = service_probe
+        self.service_revive = service_revive
+
+        self.log: List[WatchdogAction] = []
+        self.scans = 0
+        self.kills = 0
+        self.escalations = 0
+        self._running = False
+
+        # Per-scan-window cycle observation.
+        self._window: Dict[object, int] = {}
+        # Same-thread-on-CPU streak for progress detection.
+        self._last_thread: Optional[SimThread] = None
+        self._streak = 0
+        # Escalation state per owner-name family ("conn", "pd", ...).
+        self._offenses: Dict[str, int] = {}
+        self._family_backoff: Dict[str, float] = {}
+        self._shed_until: int = 0        # sim tick; 0 = not shedding
+        self._saturation_shed = False
+        # Kills awaiting reclamation verification.  A dict used as an
+        # ordered set: recoveries are verified (and logged) in kill
+        # order, keeping the log deterministic run-to-run.
+        self._pending_recovery: Dict[Owner, None] = {}
+        # Service-liveness state: down since which scan (None = up).
+        self._service_down_scan: Optional[int] = None
+
+        kernel.attach_watchdog(self)
+        kernel.cpu.charge_listeners.append(self._on_charge)
+
+    # ------------------------------------------------------------------
+    # Notification hooks (called by the kernel)
+    # ------------------------------------------------------------------
+    def _on_charge(self, owner, cycles: int) -> None:
+        if owner is not None:
+            self._window[owner] = self._window.get(owner, 0) + cycles
+
+    def note_kill(self, owner: Owner, report: KillReport) -> None:
+        """The kernel destroyed an owner (any cause, not just ours)."""
+        self.kills += 1
+        self._log("kill", owner.name,
+                  f"reclaimed {report.pages}p/{report.threads}t/"
+                  f"{report.events}e (cost {report.cycles} cyc)")
+        self._pending_recovery[owner] = None
+
+    def note_fault(self, thread: SimThread, exc: BaseException,
+                   contained: bool) -> None:
+        """A thread body raised; the kernel is containing (or not)."""
+        owner_name = getattr(thread.owner, "name", "?")
+        status = "contained" if contained else "NOT containable"
+        self._log("fault", thread.name,
+                  f"{type(exc).__name__} in {owner_name} ({status})")
+        if contained:
+            # The kill that follows arrives via note_kill.
+            self._log("detect", owner_name,
+                      f"faulting owner ({type(exc).__name__})")
+
+    # ------------------------------------------------------------------
+    # The scan loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.kernel.sim.schedule(seconds_to_ticks(self.period_s), self._scan)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _scan(self) -> None:
+        if not self._running:
+            return
+        self.scans += 1
+        offended = False
+
+        offended |= self._check_cycle_budgets()
+        offended |= self._check_page_budgets()
+        offended |= self._check_progress()
+        self._check_saturation()
+        self._check_backoff_expiry()
+        self._verify_recoveries()
+        self._check_service()
+
+        if not offended and self._offenses:
+            # A clean scan cools the escalation state: families that have
+            # stopped offending get a fresh start.
+            self._offenses.clear()
+            self._family_backoff.clear()
+
+        self._window.clear()
+        # The scan walked kernel tables: charge it like any other
+        # interrupt-level kernel work.
+        self.kernel.cpu.post_interrupt(Interrupt(
+            [(self.kernel.kernel_owner, self.scan_cost_cycles)],
+            label="watchdog-scan"))
+        self.kernel.sim.schedule(seconds_to_ticks(self.period_s), self._scan)
+
+    # -- detectors ------------------------------------------------------
+    def _check_cycle_budgets(self) -> bool:
+        hit = False
+        for owner, cycles in list(self._window.items()):
+            if cycles <= self.cycle_budget:
+                continue
+            if not self._is_killable(owner):
+                continue
+            hit = True
+            self._log("detect", owner.name,
+                      f"{cycles} cycles this window "
+                      f"(budget {self.cycle_budget})")
+            self._respond(owner)
+        return hit
+
+    def _check_page_budgets(self) -> bool:
+        hit = False
+        for owner in list(self._window):
+            if not self._is_killable(owner):
+                continue
+            pages = owner.usage.pages
+            if pages > self.page_budget:
+                hit = True
+                self._log("detect", owner.name,
+                          f"{pages} pages held (budget {self.page_budget})")
+                self._respond(owner)
+        return hit
+
+    def _check_progress(self) -> bool:
+        current = self.kernel.cpu.current
+        if current is not None and current is self._last_thread:
+            self._streak += 1
+        else:
+            self._last_thread = current
+            self._streak = 1 if current is not None else 0
+        if current is None or self._streak < self.stuck_scans:
+            return False
+        owner = current.owner
+        if not self._is_killable(owner):
+            return False
+        self._log("detect", getattr(owner, "name", "?"),
+                  f"thread {current.name} on CPU for "
+                  f"{self._streak} consecutive scans")
+        self._last_thread = None
+        self._streak = 0
+        self._respond(owner)
+        return True
+
+    def _check_saturation(self) -> None:
+        free = self.kernel.allocator.free_pages
+        if not self._saturation_shed and free <= self.shed_on_free_pages:
+            self._saturation_shed = True
+            self.kernel.set_shedding(True)
+            self._log("shed-on", "kernel",
+                      f"page pool saturated ({free} free)")
+        elif self._saturation_shed and free >= self.shed_off_free_pages:
+            self._saturation_shed = False
+            if self.kernel.sim.now >= self._shed_until:
+                self.kernel.set_shedding(False)
+                self._log("shed-off", "kernel", f"pool recovered ({free} free)")
+
+    def _check_backoff_expiry(self) -> None:
+        if (self._shed_until and self.kernel.sim.now >= self._shed_until
+                and not self._saturation_shed):
+            self._shed_until = 0
+            self.kernel.set_shedding(False)
+            self._log("shed-off", "kernel", "backoff window expired")
+
+    def _verify_recoveries(self) -> None:
+        for owner in list(self._pending_recovery):
+            if owner.destroyed and owner.tracked_object_count() == 0:
+                self._pending_recovery.pop(owner, None)
+                self._log("recover", owner.name,
+                          "fully reclaimed; kernel state clean")
+
+    def _check_service(self) -> None:
+        if self.service_probe is None:
+            return
+        if self.service_probe():
+            if self._service_down_scan is not None:
+                self._service_down_scan = None
+                self._log("recover", "service", "listener back up")
+            return
+        first = self._service_down_scan is None
+        if first:
+            self._service_down_scan = self.scans
+            self._log("detect", "service", "no live listening path")
+        # Revive on the transition, then retry every few scans while the
+        # service stays down (a revive takes effect asynchronously, on a
+        # freshly spawned init thread).
+        down_for = self.scans - (self._service_down_scan or self.scans)
+        if self.service_revive is not None and (first or down_for % 4 == 0):
+            self.service_revive()
+
+    # -- response ladder ------------------------------------------------
+    def _is_killable(self, owner) -> bool:
+        return (isinstance(owner, Owner)
+                and not owner.destroyed
+                and owner.type not in (OwnerType.KERNEL, OwnerType.IDLE)
+                and not getattr(owner, "privileged", False))
+
+    @staticmethod
+    def _family(owner: Owner) -> str:
+        return owner.name.split("-", 1)[0]
+
+    def _respond(self, owner: Owner) -> None:
+        family = self._family(owner)
+        offenses = self._offenses.get(family, 0) + 1
+        self._offenses[family] = offenses
+
+        if isinstance(owner, ProtectionDomain):
+            # Tearing down a domain kills its crossing paths too.
+            self.kernel.destroy_domain(owner)
+        else:
+            self.kernel.kill_owner(owner)
+
+        if offenses >= self.escalate_after:
+            # The family keeps offending: killing individuals is not
+            # containing the source, so shed new admissions for a backoff
+            # window that doubles with each escalation.
+            backoff = self._family_backoff.get(family, self.backoff_s)
+            self._family_backoff[family] = min(backoff * 2,
+                                               self.backoff_max_s)
+            until = self.kernel.sim.now + seconds_to_ticks(backoff)
+            self._shed_until = max(self._shed_until, until)
+            self.escalations += 1
+            self.kernel.set_shedding(True)
+            self._log("escalate", family,
+                      f"offense #{offenses}: shedding for {backoff:.3f}s")
+
+    # ------------------------------------------------------------------
+    def _log(self, kind: str, subject: str, detail: str = "") -> None:
+        self.log.append(WatchdogAction(
+            at_s=ticks_to_seconds(self.kernel.sim.now),
+            kind=kind, subject=subject, detail=detail))
+
+    def actions(self, kind: Optional[str] = None) -> List[WatchdogAction]:
+        if kind is None:
+            return list(self.log)
+        return [a for a in self.log if a.kind == kind]
+
+    def saw_recovery_cycle(self) -> bool:
+        """True when the log shows ≥1 full detect → kill → recover cycle."""
+        detects = self.actions("detect")
+        kills = self.actions("kill")
+        recovers = self.actions("recover")
+        if not (detects and kills and recovers):
+            return False
+        return recovers[-1].at_s >= detects[0].at_s
+
+    def summary(self) -> str:
+        counts: Dict[str, int] = {}
+        for a in self.log:
+            counts[a.kind] = counts.get(a.kind, 0) + 1
+        body = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        return f"watchdog: {self.scans} scans, {body or 'no actions'}"

@@ -48,6 +48,7 @@ class PathManager:
         self.paths_created = 0
         self.paths_destroyed = 0
         self.paths_killed = 0
+        self.paths_rejected = 0  # admission-control rejections
 
     # ------------------------------------------------------------------
     # pathCreate
@@ -66,6 +67,15 @@ class PathManager:
         current = kernel.current_thread
         current_owner = current.owner if current is not None else None
         kernel.acl.check("path_create", current_owner, start.pd)
+
+        # Admission control: a saturated kernel sheds new work here, before
+        # anything is allocated — rejecting a connection costs almost
+        # nothing, admitting one it cannot finish costs a full teardown.
+        # Listening paths are server configuration, not admitted work.
+        if not attrs.get("listen") and not kernel.admit_path():
+            self.paths_rejected += 1
+            raise PathCreateError(
+                f"admission control: kernel shedding load ({name or 'path'})")
 
         self.paths_created += 1
         path = Path(kernel, name=name or f"path-{self.paths_created}")

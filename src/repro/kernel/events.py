@@ -81,6 +81,9 @@ class Softclock:
         self._seq = 0
         self._running = False
         self.ticks = 0
+        #: Timer-skew knob (chaos injection): the next tick is scheduled
+        #: ``period * period_scale`` ticks out.  1.0 = nominal clock.
+        self.period_scale = 1.0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -101,6 +104,8 @@ class Softclock:
     # ------------------------------------------------------------------
     def _schedule_tick(self) -> None:
         period = self.kernel.costs.softclock_period_ticks
+        if self.period_scale != 1.0:
+            period = max(1, int(period * self.period_scale))
         self.kernel.sim.schedule(period, self._tick)
 
     def _tick(self) -> None:

@@ -55,6 +55,11 @@ class KernelConfig:
     scheduler: str = "proportional"
     total_pages: int = 8192
     costs: CostModel = field(default_factory=CostModel.default)
+    #: Contain exceptions escaping thread bodies by destroying the faulting
+    #: owner instead of crashing the simulation.  Off by default so that
+    #: programming errors in tests still surface as tracebacks; the chaos
+    #: harness turns it on (a real Escort kernel always contains faults).
+    contain_thread_faults: bool = False
 
 
 @dataclass
@@ -105,6 +110,31 @@ class Kernel:
             self._default_runaway_policy
         self.kill_reports: List[KillReport] = []
         self.runaway_traps = 0
+
+        # -- fault containment (chaos subsystem hooks) -------------------
+        #: Exceptions that escaped a thread body and were contained by
+        #: destroying the faulting owner.
+        self.fault_traps = 0
+        #: Faults whose owner could not be destroyed (kernel/idle pseudo-
+        #: owners and the privileged domain are never killed).
+        self.uncontained_faults = 0
+        if self.config.contain_thread_faults:
+            self.enable_fault_containment()
+
+        #: Kernel watchdog (see :mod:`repro.chaos.watchdog`); attached by
+        #: the chaos harness, notified of every owner destruction.
+        self.watchdog = None
+        #: Listeners notified after every ``kill_owner`` completes, with
+        #: ``(owner, report)``.  The invariant checker hangs off this.
+        self.kill_listeners: List[Callable[[Owner, "KillReport"], None]] = []
+
+        # -- admission control (graceful degradation) --------------------
+        #: While True, ``path_create`` rejects new non-listening paths
+        #: cheaply instead of admitting work the kernel cannot finish.
+        #: Toggled by the watchdog when the kernel is saturated.
+        self.shedding = False
+        #: Paths rejected by admission control.
+        self.sheds = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -212,6 +242,51 @@ class Kernel:
             self.kill_owner(owner)
 
     # ------------------------------------------------------------------
+    # Fault containment
+    # ------------------------------------------------------------------
+    def enable_fault_containment(self) -> None:
+        """Route exceptions escaping thread bodies to the kill machinery.
+
+        A module that raises mid-path leaves its owner in an unknown state;
+        like a runaway, the owner is destroyed (``pathKill`` semantics: no
+        destructor functions run).  Kernel- and idle-owned threads, and
+        threads of the privileged domain, are never contained this way —
+        such a fault is recorded and, when a watchdog is attached, logged.
+        """
+        self.cpu.on_thread_fault = self._handle_thread_fault
+
+    def _handle_thread_fault(self, thread: SimThread, exc: BaseException) -> None:
+        self.fault_traps += 1
+        owner = thread.owner
+        killable = (isinstance(owner, Owner) and not owner.destroyed
+                    and owner.type not in (OwnerType.KERNEL, OwnerType.IDLE)
+                    and not getattr(owner, "privileged", False))
+        if self.watchdog is not None:
+            self.watchdog.note_fault(thread, exc, contained=killable)
+        if killable:
+            self.kill_owner(owner)
+        else:
+            self.uncontained_faults += 1
+
+    # ------------------------------------------------------------------
+    # Watchdog / admission control
+    # ------------------------------------------------------------------
+    def attach_watchdog(self, watchdog) -> None:
+        """Install the kernel watchdog (notified of kills and faults)."""
+        self.watchdog = watchdog
+
+    def set_shedding(self, on: bool) -> None:
+        """Toggle admission-control shedding (graceful degradation)."""
+        self.shedding = bool(on)
+
+    def admit_path(self) -> bool:
+        """Admission check consulted by ``path_create``; counts rejections."""
+        if self.shedding:
+            self.sheds += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
     # Owner destruction (the heart of containment)
     # ------------------------------------------------------------------
     def reclaim_cost(self, owner: Owner, domains_visited: int) -> int:
@@ -286,6 +361,13 @@ class Kernel:
         if charge:
             self.cpu.post_interrupt(Interrupt(
                 [(self.kernel_owner, cost)], label=f"kill {owner.name}"))
+        # The watchdog hears about *forcible* kills only — the final sweep
+        # of a graceful pathDestroy (record=False) is bookkeeping, not
+        # containment.  Invariant listeners hear about every kill.
+        if record and self.watchdog is not None:
+            self.watchdog.note_kill(owner, report)
+        for fn in self.kill_listeners:
+            fn(owner, report)
         return report
 
     def destroy_domain(self, pd: ProtectionDomain) -> List[KillReport]:
@@ -296,7 +378,10 @@ class Kernel:
         reference module state that no longer exists.
         """
         reports = []
-        for path in list(pd.crossing_paths):
+        # Sorted by name: crossing_paths is an identity-hashed set, and
+        # teardown order must not depend on memory layout (chaos runs are
+        # replayed from seeds and compared run-to-run).
+        for path in sorted(pd.crossing_paths, key=lambda p: p.name):
             if not path.destroyed:
                 reports.append(self.kill_owner(path))
         reports.append(self.kill_owner(pd))

@@ -43,6 +43,9 @@ class NIC:
         self.promiscuous = False
         self.tx_frames = 0
         self.rx_frames = 0
+        #: Frames discarded by the link-layer CRC check (corrupted in
+        #: flight; see :class:`repro.net.fault.FaultInjector`).
+        self.rx_crc_errors = 0
 
     def send(self, frame: EthFrame) -> None:
         if self.medium is None:
@@ -51,6 +54,9 @@ class NIC:
         self.medium.transmit(frame, self)
 
     def deliver(self, frame: EthFrame) -> None:
+        if getattr(frame, "corrupted", False):
+            self.rx_crc_errors += 1
+            return
         self.rx_frames += 1
         if self.on_receive is not None:
             self.on_receive(frame)

@@ -131,15 +131,22 @@ class ArpPacket:
 
 
 class EthFrame:
-    """An Ethernet frame; ``wire_size`` drives serialization delay."""
+    """An Ethernet frame; ``wire_size`` drives serialization delay.
 
-    __slots__ = ("src_mac", "dst_mac", "ethertype", "payload")
+    ``corrupted`` marks a frame whose payload was damaged in flight (the
+    fault injector's bit-flip model); receiving NICs discard such frames
+    at the link-layer CRC check, exactly like real hardware.
+    """
 
-    def __init__(self, src_mac, dst_mac, ethertype: int, payload: Any):
+    __slots__ = ("src_mac", "dst_mac", "ethertype", "payload", "corrupted")
+
+    def __init__(self, src_mac, dst_mac, ethertype: int, payload: Any,
+                 corrupted: bool = False):
         self.src_mac = src_mac
         self.dst_mac = dst_mac
         self.ethertype = ethertype
         self.payload = payload
+        self.corrupted = corrupted
 
     @property
     def wire_size(self) -> int:

@@ -208,6 +208,12 @@ class CPU:
         self.scheduler = scheduler or FIFOScheduler()
         self.idle_owner = idle_owner
         self.on_runaway: Optional[Callable[[SimThread], None]] = None
+        #: Fault containment hook: when set, an exception escaping a thread
+        #: body is delivered here instead of unwinding into the event loop.
+        #: The thread is finished (exit callbacks run) before the hook sees
+        #: it, so the hook may reclaim the thread's owner safely.
+        self.on_thread_fault: Optional[
+            Callable[[SimThread, BaseException], None]] = None
         self.charge_listeners: List[Callable[[object, int], None]] = []
 
         self.current: Optional[SimThread] = None
@@ -409,6 +415,11 @@ class CPU:
             except StopIteration:
                 self._thread_done(thread)
                 return
+            except Exception as exc:
+                if self.on_thread_fault is None:
+                    raise
+                self._thread_faulted(thread, exc)
+                return
             value = None
 
             if isinstance(instr, Cycles):
@@ -498,4 +509,14 @@ class CPU:
         self.current = None
         for fn in thread._exit_callbacks:
             fn(thread)
+        self._maybe_dispatch()
+
+    def _thread_faulted(self, thread: SimThread, exc: BaseException) -> None:
+        """An exception escaped the thread body: finish the thread, then
+        let the containment hook decide what happens to its owner."""
+        thread.state = _DONE
+        self.current = None
+        for fn in thread._exit_callbacks:
+            fn(thread)
+        self.on_thread_fault(thread, exc)
         self._maybe_dispatch()

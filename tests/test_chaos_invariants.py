@@ -1,0 +1,163 @@
+"""Unit tests for the chaos oracle: schedules and the invariant checker.
+
+The checker must (a) stay silent on a healthy kernel, (b) catch each class
+of deliberately broken invariant, and (c) never report the same breakage
+twice.  Fault schedules must be pure functions of their seed.
+"""
+
+import pytest
+
+from repro.sim.clock import millis_to_ticks
+from repro.sim.cpu import Cycles
+from repro.kernel.owner import Owner, OwnerType
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.schedule import (
+    ALL_FAULT_KINDS,
+    DOMAIN_CRASH,
+    FaultEvent,
+    FaultSchedule,
+)
+
+
+def make_owner(name="victim"):
+    return Owner(OwnerType.PATH, name=name)
+
+
+def spin(iterations, cycles=10_000):
+    def body():
+        for _ in range(iterations):
+            yield Cycles(cycles)
+    return body()
+
+
+# ----------------------------------------------------------------------
+# Fault schedules
+# ----------------------------------------------------------------------
+def test_schedule_sorts_and_counts():
+    sched = FaultSchedule([
+        FaultEvent(0.5, "link-flap"),
+        FaultEvent(0.1, "stuck-thread"),
+        FaultEvent(0.3, "link-flap"),
+    ])
+    assert [e.at_s for e in sched] == [0.1, 0.3, 0.5]
+    assert sched.counts() == {"link-flap": 2, "stuck-thread": 1}
+    assert len(sched) == 3
+
+
+def test_random_schedule_is_seed_deterministic():
+    a = FaultSchedule.random(7, duration_s=1.0)
+    b = FaultSchedule.random(7, duration_s=1.0)
+    assert a.events == b.events
+    c = FaultSchedule.random(8, duration_s=1.0)
+    assert a.events != c.events
+
+
+def test_random_schedule_needs_targets_for_domain_crash():
+    # Without crash_targets there is nothing to aim a crash at, so the
+    # kind is filtered out rather than generating no-op events.
+    sched = FaultSchedule.random(3, duration_s=5.0, kinds=ALL_FAULT_KINDS,
+                                 rate_per_second=10.0)
+    assert all(e.kind != DOMAIN_CRASH for e in sched)
+    with_targets = FaultSchedule.random(
+        3, duration_s=5.0, kinds=(DOMAIN_CRASH,), rate_per_second=10.0,
+        crash_targets=("pd-http",))
+    assert all(e.kind == DOMAIN_CRASH and e.target == "pd-http"
+               for e in with_targets)
+    assert len(with_targets) > 0
+
+
+# ----------------------------------------------------------------------
+# The checker on a healthy kernel
+# ----------------------------------------------------------------------
+def test_clean_run_has_no_violations(sim, kernel):
+    checker = InvariantChecker(kernel)
+    owner = make_owner()
+    kernel.allocator.alloc(owner, count=4)
+    kernel.spawn_thread(owner, spin(50))
+    sim.run(until=millis_to_ticks(5))
+    checker.check_now()
+    assert checker.ok, checker.report()
+    assert checker.checks_run >= 1
+    assert "OK" in checker.report()
+
+
+def test_checker_attaches_mid_run(sim, kernel):
+    # Work happens *before* the checker exists; its cycle baseline must
+    # start from the CPU counters at attach time, not from zero.
+    owner = make_owner()
+    kernel.spawn_thread(owner, spin(30))
+    sim.run(until=millis_to_ticks(2))
+    checker = InvariantChecker(kernel)
+    kernel.spawn_thread(make_owner("late"), spin(30))
+    sim.run(until=millis_to_ticks(4))
+    checker.check_now()
+    assert checker.ok, checker.report()
+
+
+def test_kill_postconditions_checked_automatically(sim, kernel):
+    checker = InvariantChecker(kernel)
+    owner = make_owner()
+    kernel.allocator.alloc(owner, count=2)
+    kernel.spawn_thread(owner, spin(10**6))
+    sim.run(until=millis_to_ticks(1))
+    kernel.kill_owner(owner)
+    # The kill listener fired and found the reclamation complete.
+    assert checker.ok, checker.report()
+    assert checker.checks_run >= 1
+
+
+# ----------------------------------------------------------------------
+# The checker on deliberately broken kernels
+# ----------------------------------------------------------------------
+def test_detects_cycle_miscounting(sim, kernel):
+    checker = InvariantChecker(kernel)
+    owner = make_owner()
+    kernel.spawn_thread(owner, spin(20))
+    sim.run(until=millis_to_ticks(2))
+    owner.usage.cycles += 555  # cook the books
+    found = checker.check_now()
+    assert any(v.rule == "cycle-conservation" for v in found)
+
+
+def test_detects_page_charged_to_dead_owner(sim, kernel):
+    checker = InvariantChecker(kernel)
+    owner = make_owner()
+    pages = kernel.allocator.alloc(owner, count=1)
+    # Simulate a buggy kill that forgets the allocator.
+    owner.page_list.clear()
+    owner.usage.pages = 0
+    owner.destroyed = True
+    checker._owners.add(owner)
+    found = checker.check_now()
+    assert any(v.rule == "page-consistency" for v in found)
+    assert not checker.ok
+    # Clean up so the allocator is consistent for teardown.
+    for page in pages:
+        owner.page_list.add(page)
+
+
+def test_violations_deduplicate(sim, kernel):
+    checker = InvariantChecker(kernel)
+    owner = make_owner()
+    kernel.spawn_thread(owner, spin(20))
+    sim.run(until=millis_to_ticks(2))
+    owner.usage.cycles += 1
+    checker.check_now()
+    checker.check_now()
+    checker.check_now()
+    cycle = [v for v in checker.violations
+             if v.rule == "cycle-conservation"
+             and v.subject == owner.name]
+    assert len(cycle) == 1
+    assert "violation" in checker.report()
+
+
+def test_periodic_sweep_runs_and_stops(sim, kernel):
+    checker = InvariantChecker(kernel)
+    checker.start(period_s=0.001)
+    sim.run(until=millis_to_ticks(10))
+    ran = checker.checks_run
+    assert ran >= 5
+    checker.stop()
+    sim.run(until=millis_to_ticks(20))
+    assert checker.checks_run == ran

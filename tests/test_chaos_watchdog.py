@@ -1,0 +1,179 @@
+"""Unit tests for the kernel watchdog's detect → kill → recover ladder.
+
+Each detector is exercised in isolation (the others parked with
+out-of-reach thresholds), then the escalation/backoff machinery and the
+never-kill-the-kernel rule.
+"""
+
+import pytest
+
+from repro.sim.clock import millis_to_ticks, seconds_to_ticks
+from repro.sim.cpu import Block, Cycles
+from repro.kernel.owner import Owner, OwnerType
+from repro.chaos.watchdog import Watchdog
+
+
+def make_owner(name="conn-1"):
+    return Owner(OwnerType.PATH, name=name)
+
+
+def hog():
+    # Never yields the CPU: the canonical runaway-CGI body.
+    while True:
+        yield Cycles(25_000)
+
+
+def run_scans(sim, watchdog, scans):
+    watchdog.start()
+    sim.run(until=sim.now
+            + seconds_to_ticks(watchdog.period_s * (scans + 0.5)))
+
+
+# ----------------------------------------------------------------------
+# Detectors
+# ----------------------------------------------------------------------
+def test_cycle_budget_detects_and_kills(sim, kernel):
+    owner = make_owner("cgi-hog")
+    kernel.spawn_thread(owner, hog())
+    watchdog = Watchdog(kernel, period_s=0.001,
+                        cycle_budget_fraction=0.1,
+                        stuck_scans=10**6)      # park progress detection
+    run_scans(sim, watchdog, 5)
+    assert owner.destroyed
+    assert watchdog.actions("detect")
+    assert watchdog.actions("kill")
+    assert any("cycles this window" in a.detail
+               for a in watchdog.actions("detect"))
+
+
+def test_progress_detector_catches_stuck_thread(sim, kernel):
+    owner = make_owner("stuck-1")
+    kernel.spawn_thread(owner, hog())
+    watchdog = Watchdog(kernel, period_s=0.001,
+                        cycle_budget_fraction=10.0,  # park cycle budget
+                        stuck_scans=3)
+    run_scans(sim, watchdog, 6)
+    assert owner.destroyed
+    assert any("consecutive scans" in a.detail
+               for a in watchdog.actions("detect"))
+
+
+def test_page_budget_detects_hoarder(sim, kernel):
+    owner = make_owner("hoard-1")
+    kernel.allocator.alloc(owner, count=40)
+
+    def nibble():
+        # The page detector only examines owners active in the window.
+        for _ in range(10**6):
+            yield Cycles(1_000)
+
+    kernel.spawn_thread(owner, nibble())
+    watchdog = Watchdog(kernel, period_s=0.001, page_budget=16,
+                        cycle_budget_fraction=10.0, stuck_scans=10**6)
+    run_scans(sim, watchdog, 4)
+    assert owner.destroyed
+    assert any("pages held" in a.detail for a in watchdog.actions("detect"))
+
+
+def test_kernel_and_idle_owners_are_never_killed(sim, kernel):
+    # Only kernel/idle work happens: whatever the counters say, the
+    # watchdog must not touch the privileged owners.
+    watchdog = Watchdog(kernel, period_s=0.001,
+                        cycle_budget_fraction=0.0, page_budget=0,
+                        stuck_scans=1)
+    run_scans(sim, watchdog, 10)
+    assert watchdog.kills == 0
+    assert not kernel.kernel_owner.destroyed
+    assert not kernel.idle_owner.destroyed
+
+
+# ----------------------------------------------------------------------
+# Recovery verification and the full cycle
+# ----------------------------------------------------------------------
+def test_full_detect_kill_recover_cycle(sim, kernel):
+    owner = make_owner("stuck-1")
+    kernel.spawn_thread(owner, hog())
+    watchdog = Watchdog(kernel, period_s=0.001, stuck_scans=2,
+                        cycle_budget_fraction=10.0)
+    run_scans(sim, watchdog, 8)
+    assert watchdog.saw_recovery_cycle()
+    recover = watchdog.actions("recover")
+    assert recover and recover[0].subject == owner.name
+    assert "watchdog:" in watchdog.summary()
+
+
+def test_scan_cost_is_charged_to_the_kernel(sim, kernel):
+    before = kernel.kernel_owner.usage.cycles
+    watchdog = Watchdog(kernel, period_s=0.001, scan_cost_cycles=2_000)
+    run_scans(sim, watchdog, 5)
+    charged = kernel.kernel_owner.usage.cycles - before
+    assert charged >= 2_000 * 3  # several scans' worth landed
+
+
+# ----------------------------------------------------------------------
+# Escalation and shedding
+# ----------------------------------------------------------------------
+def test_offense_escalates_to_shedding_with_backoff(sim, kernel):
+    # escalate_after=1: the very first offense trips the shedding ladder
+    # (clean scans between offenders would otherwise cool the counter).
+    watchdog = Watchdog(kernel, period_s=0.001, stuck_scans=2,
+                        cycle_budget_fraction=10.0,
+                        escalate_after=1, backoff_s=0.004)
+    kernel.spawn_thread(make_owner("stuck-1"), hog())
+    run_scans(sim, watchdog, 10)
+    assert watchdog.escalations >= 1
+    assert watchdog.actions("escalate")
+    # The backoff window expires and admission control reopens.
+    sim.run(until=sim.now + seconds_to_ticks(0.05))
+    assert not kernel.shedding
+    assert any(a.kind == "shed-off" for a in watchdog.log)
+
+
+def test_saturation_shedding_hysteresis(sim, kernel):
+    ballast = Owner(OwnerType.KERNEL, name="ballast")
+    free = kernel.allocator.free_pages
+    kernel.allocator.alloc(ballast, count=free - 10)
+    watchdog = Watchdog(kernel, period_s=0.001,
+                        shed_on_free_pages=64, shed_off_free_pages=256,
+                        stuck_scans=10**6, cycle_budget_fraction=10.0)
+    run_scans(sim, watchdog, 3)
+    assert kernel.shedding
+    assert any(a.kind == "shed-on" for a in watchdog.log)
+    kernel.allocator.reclaim_all(ballast)
+    sim.run(until=sim.now + seconds_to_ticks(0.005))
+    assert not kernel.shedding
+    assert any(a.kind == "shed-off" for a in watchdog.log)
+
+
+def test_shedding_rejects_new_paths_cheaply(sim, kernel):
+    kernel.set_shedding(True)
+    assert not kernel.admit_path()
+    assert kernel.sheds == 1
+    kernel.set_shedding(False)
+    assert kernel.admit_path()
+
+
+# ----------------------------------------------------------------------
+# Service liveness hook
+# ----------------------------------------------------------------------
+def test_service_probe_triggers_revive_and_recovery(sim, kernel):
+    state = {"up": True, "revives": 0}
+
+    def probe():
+        return state["up"]
+
+    def revive():
+        state["revives"] += 1
+        state["up"] = True
+
+    watchdog = Watchdog(kernel, period_s=0.001,
+                        service_probe=probe, service_revive=revive,
+                        stuck_scans=10**6, cycle_budget_fraction=10.0)
+    watchdog.start()
+    sim.run(until=sim.now + seconds_to_ticks(0.003))
+    state["up"] = False
+    sim.run(until=sim.now + seconds_to_ticks(0.005))
+    assert state["revives"] == 1
+    assert state["up"]
+    assert any(a.subject == "service" for a in watchdog.actions("detect"))
+    assert any(a.subject == "service" for a in watchdog.actions("recover"))

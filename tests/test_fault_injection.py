@@ -100,6 +100,120 @@ def test_injector_validation(sim):
         FaultInjector(sim, hub, extra_delay_ticks=-1)
 
 
+def _two_nics(sim, **fault_kwargs):
+    """A fresh hub with NICs a, b attached through an injector."""
+    from repro.net.link import Hub, NIC
+    hub = Hub(sim)
+    injector = FaultInjector(sim, hub, seed=11, **fault_kwargs)
+    a, b = NIC(sim, "a"), NIC(sim, "b")
+    injector.attach(a)
+    injector.attach(b)
+    got = []
+    b.on_receive = got.append
+    return injector, a, b, got
+
+
+class _Payload:
+    size = 100
+
+
+def _blast(sim, a, b, count=100):
+    from repro.net.packet import ETHERTYPE_IP, EthFrame
+    for _ in range(count):
+        a.send(EthFrame(a.mac, b.mac, ETHERTYPE_IP, _Payload()))
+    sim.run()
+
+
+def test_counters_conserve_frames(sim):
+    # Every knob on at once: each offered frame must still land in
+    # exactly one of forwarded / dropped.
+    injector, a, b, got = _two_nics(
+        sim, drop_probability=0.2, duplicate_probability=0.3,
+        extra_delay_ticks=500, delay_probability=0.4,
+        reorder_probability=0.2, corrupt_probability=0.2)
+    _blast(sim, a, b, 200)
+    assert injector.offered == 200
+    assert injector.forwarded + injector.dropped == injector.offered
+    stats = injector.stats()
+    assert stats["forwarded"] + stats["dropped"] == stats["offered"]
+    # Deliveries: every forwarded frame plus every duplicate either
+    # arrived intact or died at b's CRC check.
+    assert len(got) + b.rx_crc_errors == \
+        injector.forwarded + injector.duplicated
+
+
+def test_duplicate_and_delay_roll_independently(sim):
+    # Every frame duplicates; each *copy* rolls its own delay, so with
+    # p=0.5 some copies of the same frame arrive on time and some late.
+    injector, a, b, got = _two_nics(
+        sim, duplicate_probability=1.0,
+        extra_delay_ticks=2_000, delay_probability=0.5)
+    _blast(sim, a, b, 100)
+    assert injector.duplicated == 100
+    assert len(got) == 200
+    assert 0 < injector.delayed < 200  # neither all nor none
+
+
+def test_reordering_delivers_everything_out_of_order(sim):
+    injector, a, b, got = _two_nics(sim, reorder_probability=0.3)
+    from repro.net.packet import ETHERTYPE_IP, EthFrame
+
+    class Numbered:
+        size = 100
+
+        def __init__(self, n):
+            self.n = n
+
+    for i in range(100):
+        a.send(EthFrame(a.mac, b.mac, ETHERTYPE_IP, Numbered(i)))
+    sim.run()
+    assert injector.reordered > 5
+    order = [f.payload.n for f in got]
+    assert len(order) == 100          # nothing lost, held slot flushed
+    assert sorted(order) == list(range(100))
+    assert order != sorted(order)     # and the order visibly changed
+
+
+def test_corruption_is_dropped_by_receiver_crc(sim):
+    injector, a, b, got = _two_nics(sim, corrupt_probability=1.0)
+    _blast(sim, a, b, 50)
+    assert injector.corrupted == 50
+    assert injector.forwarded == 50   # forwarded, then killed by CRC
+    assert got == []
+    assert b.rx_crc_errors == 50
+    assert b.rx_frames == 0
+
+
+def test_link_flap_drops_everything_until_restored(sim):
+    injector, a, b, got = _two_nics(sim)
+    injector.set_link(False)
+    _blast(sim, a, b, 30)
+    assert got == []
+    assert injector.flap_drops == 30
+    assert injector.link_flaps == 1
+    injector.set_link(True)
+    _blast(sim, a, b, 30)
+    assert len(got) == 30
+    assert injector.forwarded + injector.dropped == injector.offered
+
+
+def test_receive_side_interposition(sim):
+    # a talks to the clean hub; only b's *receive* path runs the fault
+    # model — the flaky-NIC case, injected without touching the sender.
+    from repro.net.link import Hub, NIC
+    hub = Hub(sim)
+    injector = FaultInjector(sim, hub, seed=5, drop_probability=1.0)
+    a, b = NIC(sim, "a"), NIC(sim, "b")
+    hub.attach(a)
+    injector.attach(b, receive=True)
+    got = []
+    b.on_receive = got.append
+    _blast(sim, a, b, 40)
+    assert got == []
+    assert injector.offered == 40
+    assert injector.dropped == 40
+
+
 def test_injector_deterministic(sim):
     from repro.net.link import Hub
     from repro.net.link import NIC
