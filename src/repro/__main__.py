@@ -3,7 +3,18 @@
 Prints the system inventory, boots one of each server configuration for a
 quick sanity run, and points at the longer drivers.
 
-``python -m repro chaos`` runs the chaos scenarios (see ``--list``).
+Subcommands:
+
+* ``chaos`` — run the seeded chaos scenarios (``--list``), optionally
+  writing whole-machine checkpoints (``--checkpoint-every``) and resuming
+  an interrupted run (``--resume``);
+* ``experiment`` — one parameterized figure-style measurement cell, with
+  the same checkpoint/resume support;
+* ``figure9`` — the SYN-flood figure, with a per-cell resume cache
+  (``--checkpoint-dir``) so a crashed sweep restarts where it died;
+* ``record`` / ``replay`` — deterministic-replay tooling: record a run's
+  event-level fingerprint journal, then re-execute and pinpoint the first
+  divergent event (exit 1 on divergence).
 """
 
 from __future__ import annotations
@@ -12,8 +23,13 @@ import argparse
 import sys
 
 
+def _print_checkpoint_error(exc) -> int:
+    print(f"error: {exc}", file=sys.stderr)
+    return 2
+
+
 def chaos_main(argv) -> int:
-    """``python -m repro chaos [--scenario NAME] [--seed N] [--list]``."""
+    """``python -m repro chaos [--scenario NAME] [--seed N] [--list] ...``"""
     parser = argparse.ArgumentParser(
         prog="python -m repro chaos",
         description="Run seeded chaos scenarios against the Escort server.")
@@ -24,9 +40,22 @@ def chaos_main(argv) -> int:
                              "scenario+seed always reproduces the same run")
     parser.add_argument("--list", "-l", action="store_true",
                         dest="list_them", help="list scenarios and exit")
+    parser.add_argument("--rollback", action="store_true",
+                        help="arm the watchdog's snapshot/rollback rung")
+    parser.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="S",
+                        help="write a whole-machine checkpoint every S "
+                             "simulated seconds")
+    parser.add_argument("--checkpoint-dir", default="checkpoints",
+                        help="directory for checkpoint files "
+                             "(default: ./checkpoints)")
+    parser.add_argument("--resume", default=None, metavar="CKPT",
+                        help="resume a previously checkpointed run "
+                             "(digest-verified) instead of starting fresh")
     args = parser.parse_args(argv)
 
     from repro.chaos import list_scenarios, run_scenario
+    from repro.snapshot import CheckpointError, RunDriver
 
     if args.list_them:
         for name, description in list_scenarios():
@@ -34,12 +63,40 @@ def chaos_main(argv) -> int:
             print(f"    {description}")
         return 0
 
+    if args.resume:
+        try:
+            driver, payload = RunDriver.resume(args.resume)
+        except CheckpointError as exc:
+            return _print_checkpoint_error(exc)
+        print(f"resumed {payload['spec']} at tick {payload['tick']} "
+              f"({payload['events']} events); continuing...")
+        if args.checkpoint_every:
+            report, _ = driver.run_with_checkpoints(
+                args.checkpoint_every, args.checkpoint_dir, "chaos")
+        else:
+            report = driver.run_all()
+        print(report.summary())
+        return 0 if report.ok else 1
+
     names = ([args.scenario] if args.scenario
              else [n for n, _ in list_scenarios()])
     failed = 0
     for name in names:
         try:
-            report = run_scenario(name, seed=args.seed)
+            if args.checkpoint_every:
+                from repro.chaos import ChaosRun
+                if name not in dict(list_scenarios()):
+                    raise KeyError(f"unknown scenario {name!r}")
+                driver = RunDriver(ChaosRun(name, args.seed,
+                                            use_rollback=args.rollback))
+                report, written = driver.run_with_checkpoints(
+                    args.checkpoint_every, args.checkpoint_dir,
+                    f"chaos-{name}-{args.seed}")
+                print(f"({len(written)} checkpoint(s) in "
+                      f"{args.checkpoint_dir})")
+            else:
+                report = run_scenario(name, seed=args.seed,
+                                      use_rollback=args.rollback)
         except KeyError as exc:
             print(exc.args[0])
             return 2
@@ -50,16 +107,190 @@ def chaos_main(argv) -> int:
     return 1 if failed else 0
 
 
+def experiment_main(argv) -> int:
+    """One parameterized measurement cell with checkpoint/resume."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro experiment",
+        description="Run one figure-style measurement (e.g. a Figure-9 "
+                    "SYN-flood cell) with whole-machine checkpoints.")
+    parser.add_argument("--config", default="accounting",
+                        choices=["scout", "accounting", "accounting_pd"])
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--document", default="/doc-1k")
+    parser.add_argument("--syn-rate", type=int, default=0,
+                        help="SYN flood rate/s (0 = no attack)")
+    parser.add_argument("--untrusted-cap", type=int, default=16)
+    parser.add_argument("--cgi-attackers", type=int, default=0)
+    parser.add_argument("--qos", action="store_true")
+    parser.add_argument("--warmup", type=float, default=1.0)
+    parser.add_argument("--measure", type=float, default=5.0)
+    parser.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="S")
+    parser.add_argument("--checkpoint-dir", default="checkpoints")
+    parser.add_argument("--resume", default=None, metavar="CKPT")
+    args = parser.parse_args(argv)
+
+    from repro.snapshot import CheckpointError, ExperimentRun, RunDriver
+
+    try:
+        if args.resume:
+            driver, payload = RunDriver.resume(args.resume)
+            print(f"resumed at tick {payload['tick']} "
+                  f"({payload['events']} events, digest verified)")
+        else:
+            run = ExperimentRun(
+                args.config, clients=args.clients, document=args.document,
+                syn_rate=args.syn_rate, untrusted_cap=args.untrusted_cap,
+                cgi_attackers=args.cgi_attackers, qos=args.qos,
+                warmup_s=args.warmup, measure_s=args.measure)
+            driver = RunDriver(run)
+        if args.checkpoint_every:
+            result, written = driver.run_with_checkpoints(
+                args.checkpoint_every, args.checkpoint_dir, "experiment")
+            print(f"({len(written)} checkpoint(s) in {args.checkpoint_dir})")
+        else:
+            result = driver.run_all()
+    except CheckpointError as exc:
+        return _print_checkpoint_error(exc)
+
+    print(f"{result.connections_per_second:.1f} conn/s "
+          f"({result.client_completions} completed, "
+          f"{result.client_failures} failed)")
+    if result.syn_sent:
+        print(f"SYN flood: {result.syn_dropped_at_demux}/{result.syn_sent} "
+              f"dropped at demux")
+    return 0
+
+
+def figure9_main(argv) -> int:
+    """The Figure-9 sweep with a crash-resumable per-cell cache."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro figure9",
+        description="Figure 9: best-effort throughput under a SYN flood.")
+    parser.add_argument("--clients", default="16,64",
+                        help="comma-separated client counts")
+    parser.add_argument("--configs", default="accounting,accounting_pd")
+    parser.add_argument("--document", default="/doc-1")
+    parser.add_argument("--doc-label", default="1B")
+    parser.add_argument("--syn-rate", type=int, default=1000)
+    parser.add_argument("--untrusted-cap", type=int, default=16)
+    parser.add_argument("--warmup", type=float, default=2.0)
+    parser.add_argument("--measure", type=float, default=2.0)
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="cache finished cells here and resume an "
+                             "interrupted sweep")
+    parser.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="S",
+                        help="also checkpoint in-flight cells every S "
+                             "simulated seconds")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.figure9 import run_figure9
+    from repro.snapshot import CheckpointError
+
+    try:
+        result = run_figure9(
+            client_counts=[int(x) for x in args.clients.split(",")],
+            configs=[c.strip() for c in args.configs.split(",")],
+            document=args.document, doc_label=args.doc_label,
+            syn_rate=args.syn_rate, untrusted_cap=args.untrusted_cap,
+            warmup_s=args.warmup, measure_s=args.measure,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_s=args.checkpoint_every)
+    except CheckpointError as exc:
+        return _print_checkpoint_error(exc)
+    print(result.format())
+    return 0
+
+
+def record_main(argv) -> int:
+    """Record a chaos run's event-level journal for later replay."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro record",
+        description="Execute a scenario while journaling per-event state "
+                    "fingerprints, for divergence-bisecting replay.")
+    parser.add_argument("--scenario", "-s", required=True)
+    parser.add_argument("--seed", "-n", type=int, default=1)
+    parser.add_argument("--every", type=int, default=2000,
+                        help="full-digest journal cadence in events")
+    parser.add_argument("--output", "-o", required=True)
+    args = parser.parse_args(argv)
+
+    from repro.chaos import SCENARIOS, ChaosRun
+    from repro.snapshot import record
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r} "
+              f"(known: {', '.join(sorted(SCENARIOS))})", file=sys.stderr)
+        return 2
+    report, recording = record(ChaosRun(args.scenario, args.seed),
+                               every_events=args.every)
+    recording.save(args.output)
+    print(f"recorded {recording.events_total} events "
+          f"({len(recording.entries)} digest entries) -> {args.output}")
+    print(report.summary())
+    return 0
+
+
+def replay_main(argv) -> int:
+    """Replay a recording (or self-check a scenario); exit 1 on divergence."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro replay",
+        description="Re-execute a recorded run in lockstep and pinpoint "
+                    "the first divergent event, if any.")
+    parser.add_argument("recording", nargs="?", default=None,
+                        help="recording file written by `record`")
+    parser.add_argument("--scenario", "-s", default=None,
+                        help="self-check: record+replay this scenario "
+                             "in-process instead of reading a file")
+    parser.add_argument("--seed", "-n", type=int, default=1)
+    parser.add_argument("--every", type=int, default=2000)
+    args = parser.parse_args(argv)
+
+    from repro.snapshot import CheckpointError, Recording, record, replay
+
+    try:
+        if args.recording:
+            recording = Recording.load(args.recording)
+        elif args.scenario:
+            from repro.chaos import ChaosRun
+            print(f"recording {args.scenario} seed={args.seed}...")
+            _, recording = record(ChaosRun(args.scenario, args.seed),
+                                  every_events=args.every)
+        else:
+            parser.error("give a recording file or --scenario")
+    except CheckpointError as exc:
+        return _print_checkpoint_error(exc)
+
+    report = replay(recording)
+    if report.ok:
+        print(f"replay OK: {report.events_replayed} events reproduced "
+              f"bit for bit")
+        return 0
+    print("REPLAY DIVERGED")
+    print(report.divergence.describe())
+    return 1
+
+
+_SUBCOMMANDS = {
+    "chaos": chaos_main,
+    "experiment": experiment_main,
+    "figure9": figure9_main,
+    "record": record_main,
+    "replay": replay_main,
+}
+
+
 def main(argv=None) -> int:
     """Run the guided tour; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "chaos":
-        return chaos_main(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     if argv and argv[0] in ("-h", "--help"):
         print(__doc__)
         print("usage: python -m repro [--smoke]")
-        print("       python -m repro chaos [--scenario NAME] [--seed N] "
-              "[--list]")
+        for name in _SUBCOMMANDS:
+            print(f"       python -m repro {name} [-h for options]")
         return 0
 
     from repro import __version__
@@ -82,6 +313,8 @@ def main(argv=None) -> int:
     print("\nNext steps:")
     print("  python examples/quickstart.py          accounting walkthrough")
     print("  python examples/reproduce_paper.py     every table and figure")
+    print("  python -m repro chaos --list           chaos scenarios")
+    print("  python -m repro replay -s domain-crash determinism self-check")
     print("  pytest benchmarks/ --benchmark-only    assertions vs the paper")
     return 0
 

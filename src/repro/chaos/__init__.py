@@ -42,6 +42,7 @@ from repro.chaos.invariants import InvariantChecker, Violation
 from repro.chaos.recovery import DomainRecovery
 from repro.chaos.scenarios import (
     ChaosReport,
+    ChaosRun,
     ChaosScenario,
     SCENARIOS,
     list_scenarios,
@@ -56,7 +57,7 @@ __all__ = [
     "ChaosFault", "ChaosInjector",
     "InvariantChecker", "Violation",
     "DomainRecovery",
-    "ChaosReport", "ChaosScenario", "SCENARIOS",
+    "ChaosReport", "ChaosRun", "ChaosScenario", "SCENARIOS",
     "list_scenarios", "run_scenario",
     "Watchdog", "WatchdogAction",
 ]

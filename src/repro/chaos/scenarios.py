@@ -61,6 +61,7 @@ class ChaosReport:
     sheds: int
     fault_traps: int
     kills: int
+    rollbacks: int = 0
     notes: List[str] = field(default_factory=list)
 
     def summary(self) -> str:
@@ -118,77 +119,198 @@ class ChaosScenario:
         self.watchdog_kwargs = watchdog_kwargs or {}
 
     # ------------------------------------------------------------------
-    def run(self, seed: int = 1) -> ChaosReport:
-        bed, net_injector = self.build(seed)
-        sim, server = bed.sim, bed.server
-        kernel = server.kernel
+    def run(self, seed: int = 1, *, use_rollback: bool = False) -> ChaosReport:
+        """Run the scenario to its verdict (via the replayable driver).
 
-        # Phase 1: boot and settle, then start the scenario's load.
-        server.boot()
-        sim.run(until=sim.now + seconds_to_ticks(0.01))
-        for client in bed.clients:
-            client.start()
-        for attacker in bed.cgi_attackers:
-            attacker.start()
-        if bed.syn_attacker is not None:
-            bed.syn_attacker.start()
-        sim.run(until=sim.now + seconds_to_ticks(self.warmup_s))
+        The five phases execute as fixed-tick milestones of a
+        :class:`ChaosRun`, which is what makes a chaos run checkpointable,
+        resumable, and replayable like any other run.  ``use_rollback``
+        arms the watchdog's snapshot/rollback rung (off by default — the
+        canned scenarios' escalation behavior is part of their contract).
+        """
+        from repro.snapshot.driver import RunDriver
 
-        # Phase 2: chaos, observed by the watchdog and the checker.
-        recovery = DomainRecovery(server)
-        watchdog = Watchdog(kernel,
-                            service_probe=recovery.probe,
-                            service_revive=recovery.revive,
-                            **self.watchdog_kwargs)
-        watchdog.start()
-        checker = InvariantChecker(kernel)
-        checker.start(period_s=0.05)
-        chaos = ChaosInjector(server,
-                              self.make_schedule(seed, self.chaos_s),
-                              fault_injector=net_injector)
-        chaos.arm()
-        sim.run(until=sim.now + seconds_to_ticks(self.chaos_s))
+        return RunDriver(ChaosRun(self, seed,
+                                  use_rollback=use_rollback)).run_all()
 
-        # Phase 3: recovery — kills drain, backoff expires, service heals.
-        sim.run(until=sim.now + seconds_to_ticks(self.recovery_s))
-        chaos.disarm()
 
-        # Phase 4: fresh well-behaved clients must get answers.
-        probes = bed.add_clients(3)
-        for probe in probes:
+class ChaosRun:
+    """A chaos scenario expressed as a replayable run (see ISSUE tentpole).
+
+    Implements the :class:`~repro.snapshot.runs.ReplayableRun` contract so
+    chaos runs get whole-machine checkpoints, crash-resume, and lockstep
+    replay for free.  The five scenario phases become five milestones:
+
+    ======================  ====================================
+    tick                    action
+    ======================  ====================================
+    0                       ``boot``
+    settle                  ``start_load``
+    + warmup                ``arm_chaos``  (watchdog, checker, injector)
+    + chaos + recovery      ``disarm_probe``
+    + probe                 ``verdict``
+    ======================  ====================================
+    """
+
+    KIND = "chaos"
+
+    # ReplayableRun duck-type (the base class lives in repro.snapshot.runs;
+    # importing it here at class-definition time would be a cycle, so the
+    # digest helpers are mixed in lazily via summary()/digest()).
+    bed: Optional[Testbed] = None
+
+    def __init__(self, scenario, seed: int = 1, *,
+                 use_rollback: bool = False):
+        if isinstance(scenario, str):
+            scenario = SCENARIOS[scenario]
+        self.scenario = scenario
+        self.seed = seed
+        self.use_rollback = use_rollback
+        self.report: Optional[ChaosReport] = None
+        self.snapshotter = None
+        self.tracer = None
+
+    # -- spec -----------------------------------------------------------
+    def spec(self) -> Dict:
+        return {"run": self.KIND, "scenario": self.scenario.name,
+                "seed": self.seed, "rollback": self.use_rollback}
+
+    @classmethod
+    def from_spec(cls, spec: Dict) -> "ChaosRun":
+        return cls(spec["scenario"], spec["seed"],
+                   use_rollback=bool(spec.get("rollback", False)))
+
+    # -- build + timeline ----------------------------------------------
+    def build(self) -> None:
+        self.bed, self.net_injector = self.scenario.build(self.seed)
+
+    def attach_tracer(self, capacity: int = 200_000):
+        """Instrument the server with a ring-buffer tracer (for the
+        byte-identical-trace determinism tests)."""
+        from repro.sim.trace import Tracer
+
+        self.tracer = Tracer(self.bed.sim, capacity=capacity)
+        self.tracer.instrument_server(self.bed.server)
+        return self.tracer
+
+    def milestones(self) -> List[Tuple[int, str]]:
+        sc = self.scenario
+        settle = seconds_to_ticks(0.01)
+        t_chaos = settle + seconds_to_ticks(sc.warmup_s)
+        t_probe = (t_chaos + seconds_to_ticks(sc.chaos_s)
+                   + seconds_to_ticks(sc.recovery_s))
+        t_verdict = t_probe + seconds_to_ticks(sc.probe_s)
+        return [(0, "boot"), (settle, "start_load"), (t_chaos, "arm_chaos"),
+                (t_probe, "disarm_probe"), (t_verdict, "verdict")]
+
+    def perform(self, action: str) -> None:
+        getattr(self, f"ms_{action}")()
+
+    def result(self) -> Optional[ChaosReport]:
+        return self.report
+
+    # -- milestone actions ----------------------------------------------
+    def ms_boot(self) -> None:
+        self.bed.server.boot()
+
+    def ms_start_load(self) -> None:
+        self.bed.start_load()
+
+    def ms_arm_chaos(self) -> None:
+        sc, bed = self.scenario, self.bed
+        kernel = bed.server.kernel
+        self.recovery = DomainRecovery(bed.server)
+        wd_kwargs = dict(sc.watchdog_kwargs)
+        if self.use_rollback:
+            from repro.snapshot.rollback import DomainSnapshotter
+            self.snapshotter = DomainSnapshotter(kernel)
+            wd_kwargs.setdefault("snapshotter", self.snapshotter)
+        self.watchdog = Watchdog(kernel,
+                                 service_probe=self.recovery.probe,
+                                 service_revive=self.recovery.revive,
+                                 **wd_kwargs)
+        self.watchdog.start()
+        self.checker = InvariantChecker(kernel)
+        self.checker.start(period_s=0.05)
+        self.chaos = ChaosInjector(bed.server,
+                                   sc.make_schedule(self.seed, sc.chaos_s),
+                                   fault_injector=self.net_injector)
+        self.chaos.arm()
+
+    def ms_disarm_probe(self) -> None:
+        self.chaos.disarm()
+        self.probes = self.bed.add_clients(3)
+        for probe in self.probes:
             probe.start()
-        probe_start = sim.now
-        sim.run(until=sim.now + seconds_to_ticks(self.probe_s))
-        completions = bed.stats.completions_in("client", probe_start,
-                                               sim.now)
+        self._probe_start = self.bed.sim.now
 
-        # Phase 5: verdict.
-        checker.check_now()
-        checker.stop()
-        watchdog.stop()
-        service_alive = recovery.probe()
-        recovery_cycle = watchdog.saw_recovery_cycle()
-        ok = (checker.ok and recovery_cycle and service_alive
+    def ms_verdict(self) -> None:
+        bed, sim = self.bed, self.bed.sim
+        completions = bed.stats.completions_in("client", self._probe_start,
+                                               sim.now)
+        self.checker.check_now()
+        self.checker.stop()
+        self.watchdog.stop()
+        service_alive = self.recovery.probe()
+        recovery_cycle = self.watchdog.saw_recovery_cycle()
+        ok = (self.checker.ok and recovery_cycle and service_alive
               and completions > 0)
-        notes = list(chaos.log[-3:])
-        if recovery.recoveries:
-            notes.append(f"service revived {recovery.recoveries} time(s)")
-        return ChaosReport(
-            scenario=self.name,
-            seed=seed,
+        notes = list(self.chaos.log[-3:])
+        if self.recovery.recoveries:
+            notes.append(
+                f"service revived {self.recovery.recoveries} time(s)")
+        self.report = ChaosReport(
+            scenario=self.scenario.name,
+            seed=self.seed,
             ok=ok,
             service_alive=service_alive,
             recovery_cycle=recovery_cycle,
             completions_after=completions,
-            faults_injected=dict(chaos.injected),
-            faults_skipped=dict(chaos.skipped),
-            violations=list(checker.violations),
-            watchdog_log=list(watchdog.log),
-            sheds=kernel.sheds,
-            fault_traps=kernel.fault_traps,
-            kills=watchdog.kills,
+            faults_injected=dict(self.chaos.injected),
+            faults_skipped=dict(self.chaos.skipped),
+            violations=list(self.checker.violations),
+            watchdog_log=list(self.watchdog.log),
+            sheds=bed.server.kernel.sheds,
+            fault_traps=bed.server.kernel.fault_traps,
+            kills=self.watchdog.kills,
+            rollbacks=self.watchdog.rollbacks,
             notes=notes,
         )
+
+    # -- digests --------------------------------------------------------
+    def extra_summary(self) -> Dict:
+        from repro.snapshot.runs import rng_fingerprint
+
+        out: Dict = {}
+        chaos = getattr(self, "chaos", None)
+        if chaos is not None:
+            out["injected"] = dict(sorted(chaos.injected.items()))
+            out["skipped"] = dict(sorted(chaos.skipped.items()))
+            out["chaos_rng"] = rng_fingerprint(chaos.rng)
+        watchdog = getattr(self, "watchdog", None)
+        if watchdog is not None:
+            kinds: Dict[str, int] = {}
+            for action in watchdog.log:
+                kinds[action.kind] = kinds.get(action.kind, 0) + 1
+            out["watchdog"] = {"scans": watchdog.scans,
+                               "kills": watchdog.kills,
+                               "rollbacks": watchdog.rollbacks,
+                               "log": dict(sorted(kinds.items()))}
+        if self.net_injector is not None:
+            rng = getattr(self.net_injector, "rng", None)
+            if rng is not None:
+                out["net_rng"] = rng_fingerprint(rng)
+        if self.snapshotter is not None:
+            out["snapshotter"] = self.snapshotter.summary()
+        return out
+
+    def summary(self) -> Dict:
+        from repro.snapshot.runs import ReplayableRun
+        return ReplayableRun.summary(self)
+
+    def digest(self) -> str:
+        from repro.snapshot.runs import ReplayableRun
+        return ReplayableRun.digest(self)
 
 
 # ----------------------------------------------------------------------
@@ -302,7 +424,8 @@ def list_scenarios() -> List[Tuple[str, str]]:
     return [(s.name, s.description) for s in SCENARIOS.values()]
 
 
-def run_scenario(name: str, seed: int = 1) -> ChaosReport:
+def run_scenario(name: str, seed: int = 1, *,
+                 use_rollback: bool = False) -> ChaosReport:
     """Run one canned scenario; raises ``KeyError`` for unknown names."""
     try:
         scenario = SCENARIOS[name]
@@ -310,4 +433,4 @@ def run_scenario(name: str, seed: int = 1) -> ChaosReport:
         known = ", ".join(sorted(SCENARIOS))
         raise KeyError(f"unknown scenario {name!r} (known: {known})") \
             from None
-    return scenario.run(seed)
+    return scenario.run(seed, use_rollback=use_rollback)

@@ -11,10 +11,18 @@ dry — and responds with an escalating ladder:
 2. on repeat offenses from the same family of owners, **escalate** to
    admission-control shedding for an exponentially growing backoff window
    (new work is rejected cheaply while the kernel digests the damage);
-3. non-privileged **domains** that misbehave are torn down whole (their
-   crossing paths die with them, per the paper's teardown rule);
+3. non-privileged **domains** that misbehave are **rolled back** to their
+   last known-good snapshot when a
+   :class:`~repro.snapshot.rollback.DomainSnapshotter` is attached — only
+   objects created since the snapshot are reclaimed, cycle accounting is
+   never rewound — and torn down whole when no snapshot helps (or the
+   per-domain rollback budget is spent);
 4. the privileged domain and the kernel itself are never killed — the
    watchdog sheds and logs instead.
+
+Snapshots are taken during the scan itself, and only of domains that look
+healthy *this window* (no offense logged, under half the cycle budget), so
+a wedged state is never captured as a rollback target.
 
 Every detection, kill, escalation, and verified recovery is logged as a
 :class:`WatchdogAction`, so tests can assert the full
@@ -45,7 +53,7 @@ class WatchdogAction:
     """One entry in the watchdog's action log."""
 
     at_s: float
-    kind: str       # detect | kill | escalate | recover | shed-on | shed-off | fault
+    kind: str       # detect | kill | rollback | escalate | recover | shed-on | shed-off | fault
     subject: str
     detail: str = ""
 
@@ -80,6 +88,12 @@ class Watchdog:
         Optional liveness hook: when ``service_probe()`` goes false the
         watchdog logs a detection and calls ``service_revive()`` (wired to
         :class:`repro.chaos.recovery.DomainRecovery` by the scenarios).
+    snapshotter / rollback_limit:
+        Optional :class:`~repro.snapshot.rollback.DomainSnapshotter`.
+        When attached, a misbehaving domain is first rolled back to its
+        last good snapshot (at most ``rollback_limit`` times per domain)
+        and only torn down when rollback is unavailable or reclaims
+        nothing.
     """
 
     def __init__(self, kernel: Kernel,
@@ -94,7 +108,9 @@ class Watchdog:
                  shed_on_free_pages: int = 64,
                  shed_off_free_pages: int = 256,
                  service_probe: Optional[Callable[[], bool]] = None,
-                 service_revive: Optional[Callable[[], None]] = None):
+                 service_revive: Optional[Callable[[], None]] = None,
+                 snapshotter=None,
+                 rollback_limit: int = 1):
         self.kernel = kernel
         self.period_s = period_s
         self.cycle_budget = int(cycle_budget_fraction
@@ -109,11 +125,16 @@ class Watchdog:
         self.shed_off_free_pages = shed_off_free_pages
         self.service_probe = service_probe
         self.service_revive = service_revive
+        self.snapshotter = snapshotter
+        self.rollback_limit = rollback_limit
 
         self.log: List[WatchdogAction] = []
         self.scans = 0
         self.kills = 0
         self.escalations = 0
+        self.rollbacks = 0
+        self._rollbacks_by_domain: Dict[str, int] = {}
+        self._offended_names: set = set()
         self._running = False
 
         # Per-scan-window cycle observation.
@@ -180,6 +201,7 @@ class Watchdog:
             return
         self.scans += 1
         offended = False
+        self._offended_names.clear()
 
         offended |= self._check_cycle_budgets()
         offended |= self._check_page_budgets()
@@ -188,6 +210,7 @@ class Watchdog:
         self._check_backoff_expiry()
         self._verify_recoveries()
         self._check_service()
+        self._take_snapshots()
 
         if not offended and self._offenses:
             # A clean scan cools the escalation state: families that have
@@ -278,6 +301,21 @@ class Watchdog:
                 self._log("recover", owner.name,
                           "fully reclaimed; kernel state clean")
 
+    def _take_snapshots(self) -> None:
+        """Snapshot healthy-looking domains as future rollback targets.
+
+        A domain that offended this scan, or that burned over half its
+        cycle budget in this window, is *not* snapshotted — capturing a
+        wedged state as "good" would make rollback worse than useless.
+        """
+        if self.snapshotter is None:
+            return
+        skip = set(self._offended_names)
+        for pd in self.kernel.domains:
+            if self._window.get(pd, 0) > self.cycle_budget // 2:
+                skip.add(pd.name)
+        self.snapshotter.observe(skip=skip)
+
     def _check_service(self) -> None:
         if self.service_probe is None:
             return
@@ -312,10 +350,12 @@ class Watchdog:
         family = self._family(owner)
         offenses = self._offenses.get(family, 0) + 1
         self._offenses[family] = offenses
+        self._offended_names.add(owner.name)
 
         if isinstance(owner, ProtectionDomain):
-            # Tearing down a domain kills its crossing paths too.
-            self.kernel.destroy_domain(owner)
+            if not self._try_rollback(owner):
+                # Tearing down a domain kills its crossing paths too.
+                self.kernel.destroy_domain(owner)
         else:
             self.kernel.kill_owner(owner)
 
@@ -332,6 +372,35 @@ class Watchdog:
             self.kernel.set_shedding(True)
             self._log("escalate", family,
                       f"offense #{offenses}: shedding for {backoff:.3f}s")
+
+    def _try_rollback(self, pd: ProtectionDomain) -> bool:
+        """Roll a misbehaving domain back to its last good snapshot.
+
+        Returns True when rollback reclaimed something (the gentler rung
+        handled it); False means fall through to teardown — no snapshotter,
+        per-domain budget spent, no snapshot, or the rollback reclaimed
+        nothing (the wedge predates every snapshot we hold).
+        """
+        if self.snapshotter is None:
+            return False
+        if self._rollbacks_by_domain.get(pd.name, 0) >= self.rollback_limit:
+            return False
+        if not self.snapshotter.can_rollback(pd):
+            return False
+        report = self.snapshotter.rollback(pd)
+        if report is None or not report.reclaimed_anything:
+            return False
+        self.rollbacks += 1
+        self._rollbacks_by_domain[pd.name] = \
+            self._rollbacks_by_domain.get(pd.name, 0) + 1
+        self._log("rollback", pd.name,
+                  f"to snapshot at "
+                  f"{ticks_to_seconds(report.snapshot_tick):.6f}s: killed "
+                  f"{len(report.paths_killed)} path(s), "
+                  f"{report.threads_killed} thread(s), cancelled "
+                  f"{report.events_cancelled} event(s), freed "
+                  f"{report.heap_allocs_freed} alloc(s)")
+        return True
 
     # ------------------------------------------------------------------
     def _log(self, kind: str, subject: str, detail: str = "") -> None:

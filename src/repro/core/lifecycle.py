@@ -49,6 +49,10 @@ class PathManager:
         self.paths_destroyed = 0
         self.paths_killed = 0
         self.paths_rejected = 0  # admission-control rejections
+        #: Live paths in creation order.  The snapshot subsystem walks this
+        #: to digest per-path accounting; entries remove themselves on
+        #: destruction so long runs do not accumulate dead Path objects.
+        self.paths: List[Path] = []
 
     # ------------------------------------------------------------------
     # pathCreate
@@ -79,6 +83,8 @@ class PathManager:
 
         self.paths_created += 1
         path = Path(kernel, name=name or f"path-{self.paths_created}")
+        self.paths.append(path)
+        path.on_destroy(self._forget_path)
         path.attributes = attrs
         yield Cycles(kernel.costs.path_create_kernel + kernel.acct(4),
                      owner=path)
@@ -143,6 +149,12 @@ class PathManager:
             pd.crossing_paths.add(path)
             path.on_destroy(
                 lambda p, pd=pd: pd.crossing_paths.discard(p))
+
+    def _forget_path(self, path: Path) -> None:
+        try:
+            self.paths.remove(path)
+        except ValueError:
+            pass
 
     def _reclaim_partial(self, path: Path) -> None:
         if not path.destroyed:

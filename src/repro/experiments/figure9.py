@@ -13,8 +13,9 @@ for both the 1-byte and 10 KB documents (1 KB within 3 % of 1-byte).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.harness import TRUSTED_SUBNET, Testbed
 from repro.experiments.report import format_table
@@ -65,8 +66,31 @@ def run_figure9(client_counts: Sequence[int] = (16, 64),
                 syn_rate: int = 1000,
                 untrusted_cap: int = 16,
                 warmup_s: float = 2.0,
-                measure_s: float = 2.0) -> Figure9Result:
-    """Measure best-effort throughput with and without the SYN flood."""
+                measure_s: float = 2.0,
+                checkpoint_dir: Optional[str] = None,
+                checkpoint_every_s: Optional[float] = None) -> Figure9Result:
+    """Measure best-effort throughput with and without the SYN flood.
+
+    With ``checkpoint_dir``, every finished (config, clients, attack) cell
+    is persisted to a versioned ``figure9-cells.ckpt`` file there, and a
+    re-run after a crash skips the cells already done; with
+    ``checkpoint_every_s`` each in-flight cell additionally writes
+    whole-machine checkpoints at that cadence, so even a single long cell
+    survives an interruption (resume it with ``python -m repro experiment
+    --resume``).  A cache written by a different checkpoint format version
+    raises :class:`~repro.snapshot.checkpoint.CheckpointVersionError`.
+    """
+    cache: Dict[str, Dict] = {}
+    cache_path = None
+    if checkpoint_dir:
+        from repro.snapshot.checkpoint import load_checkpoint
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        cache_path = os.path.join(checkpoint_dir, "figure9-cells.ckpt")
+        if os.path.exists(cache_path):
+            payload = load_checkpoint(cache_path)
+            if payload.get("kind") == "figure9-cells":
+                cache = payload["cells"]
+
     result = Figure9Result(client_counts=list(client_counts),
                            doc_label=doc_label)
     for config in configs:
@@ -74,20 +98,53 @@ def run_figure9(client_counts: Sequence[int] = (16, 64),
         sent = dropped = 0
         for n in client_counts:
             for attack in (False, True):
-                bed = Testbed.by_name(config, policies=[
-                    SynFloodPolicy(TRUSTED_SUBNET,
-                                   untrusted_cap=untrusted_cap)])
-                bed.add_clients(n, document=document)
+                cell = _run_cell(config, n, attack, document, syn_rate,
+                                 untrusted_cap, warmup_s, measure_s,
+                                 cache, cache_path, checkpoint_dir,
+                                 checkpoint_every_s)
                 if attack:
-                    bed.add_syn_attacker(syn_rate)
-                run = bed.run(warmup_s=warmup_s, measure_s=measure_s)
-                if attack:
-                    attack_series.append(run.connections_per_second)
-                    sent = run.syn_sent
-                    dropped = run.syn_dropped_at_demux
+                    attack_series.append(cell["cps"])
+                    sent = cell["syn_sent"]
+                    dropped = cell["syn_dropped"]
                 else:
-                    base_series.append(run.connections_per_second)
+                    base_series.append(cell["cps"])
         result.series[config] = {"base": base_series,
                                  "attack": attack_series}
         result.syn_stats[config] = {"sent": sent, "dropped": dropped}
     return result
+
+
+def _run_cell(config: str, n: int, attack: bool, document: str,
+              syn_rate: int, untrusted_cap: int, warmup_s: float,
+              measure_s: float, cache: Dict[str, Dict],
+              cache_path: Optional[str], checkpoint_dir: Optional[str],
+              checkpoint_every_s: Optional[float]) -> Dict:
+    """One (config, clients, attack) cell, cached if a cache is in play."""
+    key = (f"{config}/{n}/{'attack' if attack else 'base'}/{document}"
+           f"/{syn_rate}/{untrusted_cap}/{warmup_s}/{measure_s}")
+    if key in cache:
+        return cache[key]
+
+    from repro.snapshot.driver import RunDriver
+    from repro.snapshot.runs import ExperimentRun
+
+    run = ExperimentRun(config, clients=n, document=document,
+                        syn_rate=syn_rate if attack else 0,
+                        untrusted_cap=untrusted_cap,
+                        warmup_s=warmup_s, measure_s=measure_s)
+    driver = RunDriver(run)
+    if checkpoint_dir and checkpoint_every_s:
+        stem = f"fig9-{config}-{n}-{'attack' if attack else 'base'}"
+        res, _ = driver.run_with_checkpoints(checkpoint_every_s,
+                                             checkpoint_dir, stem)
+    else:
+        res = driver.run_all()
+    cell = {"cps": res.connections_per_second,
+            "syn_sent": res.syn_sent,
+            "syn_dropped": res.syn_dropped_at_demux}
+    cache[key] = cell
+    if cache_path:
+        from repro.snapshot.checkpoint import save_checkpoint
+        save_checkpoint(cache_path, {"kind": "figure9-cells",
+                                     "cells": cache})
+    return cell

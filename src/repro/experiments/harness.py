@@ -274,6 +274,18 @@ class Testbed:
         # Let module init threads finish (passive paths must exist) before
         # any SYN arrives, or early connections eat a full TCP RTO.
         self.sim.run(until=self.sim.now + seconds_to_ticks(0.01))
+        self.start_load()
+        self.sim.run(until=self.sim.now + seconds_to_ticks(warmup_s))
+        start = self.begin_window()
+        self.sim.run(until=start + seconds_to_ticks(measure_s))
+        return self.end_window(start)
+
+    def start_load(self) -> None:
+        """Start every configured traffic source (clients, attackers, QoS).
+
+        Milestone action: also called at a fixed tick by the replayable
+        :class:`~repro.snapshot.runs.ExperimentRun`.
+        """
         for client in self.clients:
             client.start()
         for attacker in self.cgi_attackers:
@@ -283,17 +295,24 @@ class Testbed:
         if self.qos_receiver is not None:
             self.qos_receiver.start()
 
-        self.sim.run(until=self.sim.now + seconds_to_ticks(warmup_s))
+    def begin_window(self) -> int:
+        """Open the measurement window at the current tick; returns it."""
         start = self.sim.now
-        syn_sent_at_start = self.syn_attacker.sent if self.syn_attacker else 0
-        syn_drops_at_start = (self.server.tcp.demux_drops.get("syn-cap", 0)
-                              if hasattr(self.server, "tcp") else 0)
+        self._syn_sent_at_start = (self.syn_attacker.sent
+                                   if self.syn_attacker else 0)
+        self._syn_drops_at_start = (
+            self.server.tcp.demux_drops.get("syn-cap", 0)
+            if hasattr(self.server, "tcp") else 0)
         if self.ledger is not None:
             self._flush_idle()
             self.ledger.start()
-        self.sim.run(until=start + seconds_to_ticks(measure_s))
+        return start
+
+    def end_window(self, start: int) -> RunResult:
+        """Close the window opened by :meth:`begin_window` and collect."""
         end = self.sim.now
-        self._syn_window = (syn_sent_at_start, syn_drops_at_start)
+        self._syn_window = (getattr(self, "_syn_sent_at_start", 0),
+                            getattr(self, "_syn_drops_at_start", 0))
         if self.ledger is not None:
             self._flush_idle()
             self.ledger.stop()

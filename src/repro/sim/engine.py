@@ -7,14 +7,22 @@ event scheduled here.
 
 Events are cancellable: cancelling marks the event dead and the main loop
 skips it when popped (lazy deletion, the standard trick for heap-backed
-simulators).  Ties in time are broken by insertion order, which keeps runs
-deterministic.
+simulators).  When cancelled events outnumber live ones the queue is
+compacted in place, so long runs that cancel many timers (TCP retransmits
+are the classic case) neither grow the heap nor pin the cancelled
+callbacks' closures.  Ties in time are broken by insertion order, which
+keeps runs deterministic; the snapshot/replay subsystem
+(:mod:`repro.snapshot`) verifies that guarantee by digest comparison.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
+
+#: Compaction is considered once the queue is at least this large; below
+#: it the lazy-deletion garbage is too small to matter.
+COMPACT_MIN_QUEUE = 64
 
 
 class Event:
@@ -24,17 +32,29 @@ class Event:
     code only ever needs :meth:`cancel` and :attr:`time`.
     """
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], None]):
+    def __init__(self, time: int, seq: int, fn: Callable[[], None],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
-        """Mark the event dead; it will never fire."""
+        """Mark the event dead; it will never fire.
+
+        The callback reference is dropped immediately — a cancelled event
+        may sit in the heap until popped or compacted away, and it must not
+        keep its closure (and whatever the closure captures) alive.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        self.fn = None
+        if self.sim is not None:
+            self.sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -58,6 +78,9 @@ class Simulator:
         self._queue: List[Event] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        # Cancelled events still sitting in the heap (lazy deletion debt).
+        self._cancelled_pending: int = 0
+        self.compactions: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -77,9 +100,35 @@ class Simulator:
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         self._seq += 1
-        ev = Event(time, self._seq, fn)
+        ev = Event(time, self._seq, fn, sim=self)
         heapq.heappush(self._queue, ev)
         return ev
+
+    # ------------------------------------------------------------------
+    # Lazy-deletion bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled_pending += 1
+        if (self._cancelled_pending * 2 > len(self._queue)
+                and len(self._queue) >= COMPACT_MIN_QUEUE):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events.
+
+        Execution order is unaffected: live events keep their unique
+        ``(time, seq)`` keys, so replays are bit-identical whether or not
+        a compaction happened.
+        """
+        self._queue = [ev for ev in self._queue if not ev.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+        self.compactions += 1
+
+    def _pop_cancelled(self) -> None:
+        heapq.heappop(self._queue)
+        if self._cancelled_pending > 0:
+            self._cancelled_pending -= 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -87,14 +136,45 @@ class Simulator:
     def step(self) -> bool:
         """Run the next pending event.  Returns False when queue is empty."""
         while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
+            if self._queue[0].cancelled:
+                self._pop_cancelled()
                 continue
+            ev = heapq.heappop(self._queue)
             self.now = ev.time
             self._events_processed += 1
             ev.fn()
             return True
         return False
+
+    def step_until(self, until: int) -> bool:
+        """Run the next event if it is due at or before ``until``.
+
+        Returns True when an event executed, False when the next live event
+        (if any) lies beyond ``until``.  Unlike :meth:`run`, the clock is
+        *not* advanced to ``until`` on False — call :meth:`finish_until`
+        for that.  ``run(until=X)`` is exactly
+        ``while step_until(X): pass`` followed by ``finish_until(X)``; the
+        replay driver uses this decomposition to observe the machine
+        between events.
+        """
+        while self._queue:
+            ev = self._queue[0]
+            if ev.cancelled:
+                self._pop_cancelled()
+                continue
+            if ev.time > until:
+                return False
+            heapq.heappop(self._queue)
+            self.now = ev.time
+            self._events_processed += 1
+            ev.fn()
+            return True
+        return False
+
+    def finish_until(self, until: int) -> None:
+        """Advance the clock to exactly ``until`` (if it is not there yet)."""
+        if self.now < until:
+            self.now = until
 
     def run(self, until: Optional[int] = None) -> None:
         """Run events until the queue drains or the clock passes ``until``.
@@ -107,19 +187,9 @@ class Simulator:
             while self.step():
                 pass
             return
-        while self._queue:
-            ev = self._queue[0]
-            if ev.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if ev.time > until:
-                break
-            heapq.heappop(self._queue)
-            self.now = ev.time
-            self._events_processed += 1
-            ev.fn()
-        if self.now < until:
-            self.now = until
+        while self.step_until(until):
+            pass
+        self.finish_until(until)
 
     def run_for(self, duration: int) -> None:
         """Run for ``duration`` ticks from the current time."""
@@ -130,6 +200,24 @@ class Simulator:
         """Total number of events executed so far (for engine diagnostics)."""
         return self._events_processed
 
+    @property
+    def seq(self) -> int:
+        """Total events ever scheduled (monotonic; part of state digests)."""
+        return self._seq
+
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""
         return len(self._queue)
+
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled_pending
+
+    def live_events(self) -> List[Tuple[int, int]]:
+        """Sorted ``(time, seq)`` keys of every live queued event.
+
+        This is the heap's *shape* independent of its internal array
+        layout, so digests built from it are stable across compactions.
+        """
+        return sorted((ev.time, ev.seq) for ev in self._queue
+                      if not ev.cancelled)

@@ -1,0 +1,36 @@
+"""Whole-machine checkpoint/restore, deterministic replay, rollback.
+
+The subsystem in one paragraph: a machine state is *named* by its run spec
+plus its position on the virtual clock, *summarized* canonically
+(:mod:`~repro.snapshot.digest`), *persisted* as a versioned checkpoint
+file (:mod:`~repro.snapshot.checkpoint`), *restored* by digest-verified
+deterministic re-execution (:mod:`~repro.snapshot.driver`), *verified* at
+per-event granularity by lockstep replay (:mod:`~repro.snapshot.replay`),
+and *partially rewound* at domain granularity for the chaos watchdog
+(:mod:`~repro.snapshot.rollback`).
+"""
+
+from repro.snapshot.checkpoint import (CheckpointError, CheckpointFormatError,
+                                       CheckpointVersionError, FORMAT_VERSION,
+                                       load_checkpoint, save_checkpoint)
+from repro.snapshot.digest import (canonical_json, light_state,
+                                   machine_digest, machine_summary,
+                                   summary_diff)
+from repro.snapshot.driver import RestoreMismatchError, RunDriver
+from repro.snapshot.replay import (Divergence, Recording, ReplayReport,
+                                   record, replay)
+from repro.snapshot.rollback import (DomainSnapshot, DomainSnapshotter,
+                                     RollbackReport)
+from repro.snapshot.runs import (ExperimentRun, ReplayableRun, reset_ids,
+                                 run_from_spec)
+
+__all__ = [
+    "CheckpointError", "CheckpointFormatError", "CheckpointVersionError",
+    "FORMAT_VERSION", "load_checkpoint", "save_checkpoint",
+    "canonical_json", "light_state", "machine_digest", "machine_summary",
+    "summary_diff",
+    "RestoreMismatchError", "RunDriver",
+    "Divergence", "Recording", "ReplayReport", "record", "replay",
+    "DomainSnapshot", "DomainSnapshotter", "RollbackReport",
+    "ExperimentRun", "ReplayableRun", "reset_ids", "run_from_spec",
+]

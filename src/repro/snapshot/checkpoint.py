@@ -1,0 +1,99 @@
+"""Versioned on-disk checkpoint files.
+
+A checkpoint is the durable form of a machine state: a small, gzip-
+compressed JSON document pinning *how to rebuild the machine* (the run
+spec), *where execution stood* (tick, events processed, milestones done),
+and *what the state must hash to* (the full canonical summary and its
+SHA-256 digest, plus the digest journal accumulated so far).  Restoring is
+verified deterministic re-execution — see :mod:`repro.snapshot.driver` —
+so a checkpoint stays valid across interpreter restarts and machines, and
+a corrupt or version-skewed file fails loudly before any work happens.
+
+File layout::
+
+    ESCKPT <format-version>\\n      (uncompressed ASCII header line)
+    <gzip-compressed canonical JSON payload>
+
+The header is outside the compressed payload so version checks never
+depend on being able to parse the payload they are versioning.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import zlib
+from typing import Dict
+
+MAGIC = b"ESCKPT"
+FORMAT_VERSION = 1
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "CheckpointVersionError",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+
+class CheckpointError(Exception):
+    """Base class for checkpoint load/save failures."""
+
+
+class CheckpointFormatError(CheckpointError):
+    """The file is not a checkpoint, or its payload is corrupt."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The checkpoint was written by an incompatible format version."""
+
+    def __init__(self, path: str, found, expected: int = FORMAT_VERSION):
+        self.found = found
+        self.expected = expected
+        super().__init__(
+            f"{path}: checkpoint format version {found!r} is not supported "
+            f"by this build (expected {expected}); re-create the checkpoint "
+            f"with the current code, or run it with the build that wrote it")
+
+
+def save_checkpoint(path: str, payload: Dict) -> None:
+    """Write ``payload`` as a versioned checkpoint at ``path`` (atomic)."""
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+    # mtime=0 keeps the gzip container byte-reproducible: the same machine
+    # state always writes the same file.
+    data = (MAGIC + b" " + str(FORMAT_VERSION).encode() + b"\n"
+            + gzip.compress(body, mtime=0))
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> Dict:
+    """Read and validate a checkpoint; raises :class:`CheckpointError`."""
+    try:
+        with open(path, "rb") as fh:
+            header = fh.readline()
+            blob = fh.read()
+    except OSError as exc:
+        raise CheckpointFormatError(f"{path}: cannot read ({exc})") from exc
+    parts = header.strip().split()
+    if len(parts) != 2 or parts[0] != MAGIC:
+        raise CheckpointFormatError(
+            f"{path}: not a checkpoint file (bad header {header[:32]!r})")
+    try:
+        version = int(parts[1])
+    except ValueError:
+        raise CheckpointVersionError(path, parts[1].decode("ascii",
+                                                           "replace"))
+    if version != FORMAT_VERSION:
+        raise CheckpointVersionError(path, version)
+    try:
+        return json.loads(gzip.decompress(blob).decode())
+    except (OSError, EOFError, ValueError, zlib.error) as exc:
+        raise CheckpointFormatError(
+            f"{path}: corrupt checkpoint payload ({exc})") from exc

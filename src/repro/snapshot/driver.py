@@ -1,0 +1,210 @@
+"""RunDriver: milestone-by-milestone execution, checkpointing, restore.
+
+The driver owns the equivalence that makes lightweight checkpoints sound::
+
+    sim.run(until=T1); sim.run(until=T2)   ==   sim.run(until=T2)
+
+so executing a run in any number of slices — including stopping to write a
+checkpoint after each slice, or stepping one event at a time for replay —
+produces the same machine as one uninterrupted run.  A checkpoint is the
+run's spec plus the position (tick, events, milestones done) plus the
+state digest; *restore* rebuilds the machine from the spec in a fresh
+process, fast-forwards to the recorded tick, and refuses to continue
+unless the digest matches bit for bit (:class:`RestoreMismatchError`
+carries the field-level diff when it does not).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.snapshot.checkpoint import (CheckpointFormatError, load_checkpoint,
+                                       save_checkpoint)
+from repro.snapshot.digest import summary_diff
+from repro.snapshot.runs import ReplayableRun, reset_ids, run_from_spec
+
+__all__ = ["RunDriver", "RestoreMismatchError"]
+
+
+class RestoreMismatchError(Exception):
+    """Re-execution did not reproduce the checkpointed state.
+
+    Raised by :meth:`RunDriver.resume` when the rebuilt machine's digest at
+    the checkpoint tick differs from the recorded one — meaning the code,
+    the spec handling, or the determinism guarantee changed since the
+    checkpoint was written.  ``diffs`` lists the divergent summary leaves.
+    """
+
+    def __init__(self, message: str, diffs: Optional[List[str]] = None):
+        self.diffs = diffs or []
+        detail = "".join(f"\n  {d}" for d in self.diffs[:20])
+        super().__init__(message + detail)
+
+
+class RunDriver:
+    """Executes a :class:`ReplayableRun` against the simulated clock."""
+
+    def __init__(self, run: ReplayableRun, *, build: bool = True):
+        self.run = run
+        if build:
+            reset_ids()
+            run.build()
+        self._milestones: List[Tuple[int, str]] = list(run.milestones())
+        self._ms_done = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        return self.run.bed.sim
+
+    @property
+    def end_tick(self) -> int:
+        """Tick of the final milestone (the run's natural end)."""
+        return self._milestones[-1][0] if self._milestones else 0
+
+    @property
+    def milestones_done(self) -> int:
+        return self._ms_done
+
+    @property
+    def done(self) -> bool:
+        return self._ms_done >= len(self._milestones)
+
+    # ------------------------------------------------------------------
+    # Coarse execution
+    # ------------------------------------------------------------------
+    def run_to(self, tick: int) -> None:
+        """Advance the machine to exactly ``tick``.
+
+        Performs every milestone due at or before ``tick``, interleaved
+        with event execution, exactly as an unsliced run would.
+        """
+        while (self._ms_done < len(self._milestones)
+               and self._milestones[self._ms_done][0] <= tick):
+            due, name = self._milestones[self._ms_done]
+            self.sim.run(until=due)
+            self.run.perform(name)
+            self._ms_done += 1
+        self.sim.run(until=tick)
+
+    def run_all(self):
+        """Run to the final milestone and return the run's result."""
+        self.run_to(self.end_tick)
+        return self.run.result()
+
+    # ------------------------------------------------------------------
+    # Fine-grained execution (replay)
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[str]:
+        """Execute exactly one unit of work: one event or one milestone.
+
+        Returns ``"event"`` or ``"milestone"`` for what ran, or ``None``
+        when the run is complete.  A step-loop is observationally identical
+        to :meth:`run_all` — that is the property replay relies on to
+        interpose a fingerprint check after every single event.
+        """
+        if self._ms_done < len(self._milestones):
+            due, name = self._milestones[self._ms_done]
+            if self.sim.step_until(due):
+                return "event"
+            self.sim.finish_until(due)
+            self.run.perform(name)
+            self._ms_done += 1
+            return "milestone"
+        return None
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint_payload(self) -> Dict:
+        return {
+            "kind": "checkpoint",
+            "spec": self.run.spec(),
+            "tick": self.sim.now,
+            "seq": self.sim.seq,
+            "events": self.sim.events_processed,
+            "milestones_done": self._ms_done,
+            "digest": self.run.digest(),
+            "summary": self.run.summary(),
+        }
+
+    def checkpoint(self, path: str) -> Dict:
+        """Write the current position+digest as a checkpoint file."""
+        payload = self.checkpoint_payload()
+        save_checkpoint(path, payload)
+        return payload
+
+    def run_with_checkpoints(self, every_s: float, directory: str,
+                             stem: str = "run"):
+        """Run to completion, checkpointing every ``every_s`` sim-seconds.
+
+        Writes ``<stem>-t<tick>.ckpt`` files plus a ``<stem>-latest.ckpt``
+        alias (what ``--resume`` normally points at).  Returns
+        ``(result, written_paths)``.
+        """
+        from repro.sim.clock import seconds_to_ticks
+
+        os.makedirs(directory, exist_ok=True)
+        every = max(1, seconds_to_ticks(every_s))
+        written: List[str] = []
+        tick = self.sim.now
+        while not self.done:
+            tick = min(tick + every, self.end_tick)
+            self.run_to(tick)
+            if self.done:
+                break
+            path = os.path.join(directory, f"{stem}-t{tick}.ckpt")
+            payload = self.checkpoint(path)
+            save_checkpoint(os.path.join(directory, f"{stem}-latest.ckpt"),
+                            payload)
+            written.append(path)
+        return self.run.result(), written
+
+    @classmethod
+    def resume(cls, ckpt_path: str) -> Tuple["RunDriver", Dict]:
+        """Restore a checkpoint into a fresh machine, digest-verified.
+
+        Rebuilds the machine from the recorded spec, fast-forwards to the
+        recorded tick, and checks events-processed, scheduler sequence and
+        the full state digest before handing the driver back.  Raises
+        :class:`RestoreMismatchError` if re-execution diverged.
+        """
+        payload = load_checkpoint(ckpt_path)
+        if payload.get("kind") != "checkpoint":
+            raise CheckpointFormatError(
+                f"{ckpt_path}: file is a {payload.get('kind')!r}, "
+                f"not a checkpoint")
+        driver = cls(run_from_spec(payload["spec"]))
+        # Step to the recorded position by *counts*, not by clock: event
+        # and milestone order is deterministic, so matching both counters
+        # lands on the exact cut point even when a milestone sits on the
+        # checkpoint tick.  The trailing finish_until restores the clock
+        # across any idle gap before the cut.
+        target_events = payload["events"]
+        target_ms = payload["milestones_done"]
+        while (driver.sim.events_processed < target_events
+               or driver._ms_done < target_ms):
+            if driver.sim.events_processed > target_events:
+                break  # diverged; let verification report it
+            if driver.step() is None:
+                break
+        driver.sim.finish_until(payload["tick"])
+        mismatches: List[str] = []
+        if driver.sim.events_processed != payload["events"]:
+            mismatches.append(
+                f"events_processed: expected {payload['events']} "
+                f"!= actual {driver.sim.events_processed}")
+        if driver.sim.seq != payload["seq"]:
+            mismatches.append(f"seq: expected {payload['seq']} "
+                              f"!= actual {driver.sim.seq}")
+        digest = driver.run.digest()
+        if digest != payload["digest"]:
+            mismatches += summary_diff(payload["summary"],
+                                       driver.run.summary())
+        if mismatches:
+            raise RestoreMismatchError(
+                f"{ckpt_path}: machine rebuilt from this checkpoint does "
+                f"not match the recorded state at tick {payload['tick']} "
+                f"(code drift or nondeterminism)", mismatches)
+        return driver, payload
