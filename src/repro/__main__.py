@@ -7,11 +7,17 @@ Subcommands:
 
 * ``chaos`` — run the seeded chaos scenarios (``--list``), optionally
   writing whole-machine checkpoints (``--checkpoint-every``) and resuming
-  an interrupted run (``--resume``);
+  an interrupted run (``--resume``); ``--workers N`` fans the scenario
+  matrix over a process pool;
 * ``experiment`` — one parameterized figure-style measurement cell, with
   the same checkpoint/resume support;
-* ``figure9`` — the SYN-flood figure, with a per-cell resume cache
-  (``--checkpoint-dir``) so a crashed sweep restarts where it died;
+* ``figure8`` / ``figure9`` / ``figure10`` / ``figure11`` — the paper's
+  sweeps; all take ``--workers N`` (parallel cells, byte-identical to
+  serial) and ``--profile`` (cProfile the run); figure9 additionally has
+  a per-cell resume cache (``--checkpoint-dir``) so a crashed sweep
+  restarts where it died;
+* ``ablation`` — the domain-grouping / crossing-cost / early-drop sweeps;
+* ``bench`` — the wall-clock benchmark suite; writes ``BENCH_sim.json``;
 * ``record`` / ``replay`` — deterministic-replay tooling: record a run's
   event-level fingerprint journal, then re-execute and pinpoint the first
   divergent event (exit 1 on divergence).
@@ -26,6 +32,17 @@ import sys
 def _print_checkpoint_error(exc) -> int:
     print(f"error: {exc}", file=sys.stderr)
     return 2
+
+
+def _add_perf_args(parser) -> None:
+    """The shared ``--workers`` / ``--profile`` options of the sweeps."""
+    parser.add_argument("--workers", "-j", type=int, default=0,
+                        help="fan sweep cells over N worker processes "
+                             "(0/1 = serial; results are byte-identical "
+                             "either way)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the run and print the hottest "
+                             "frames to stderr")
 
 
 def chaos_main(argv) -> int:
@@ -52,6 +69,10 @@ def chaos_main(argv) -> int:
     parser.add_argument("--resume", default=None, metavar="CKPT",
                         help="resume a previously checkpointed run "
                              "(digest-verified) instead of starting fresh")
+    parser.add_argument("--workers", "-j", type=int, default=0,
+                        help="run the scenario matrix on N worker "
+                             "processes (ignored with --checkpoint-every "
+                             "or --resume)")
     args = parser.parse_args(argv)
 
     from repro.chaos import list_scenarios, run_scenario
@@ -80,6 +101,27 @@ def chaos_main(argv) -> int:
 
     names = ([args.scenario] if args.scenario
              else [n for n, _ in list_scenarios()])
+
+    if args.workers > 1 and not args.checkpoint_every and len(names) > 1:
+        from repro.perf.pool import SweepCell, run_cells
+        known = dict(list_scenarios())
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            print(f"unknown scenario {unknown[0]!r}")
+            return 2
+        cells = [SweepCell(key=name, runner="chaos",
+                           params=dict(scenario=name, seed=args.seed,
+                                       rollback=args.rollback))
+                 for name in names]
+        merged = run_cells(cells, workers=args.workers)
+        failed = 0
+        for name in names:
+            print(merged[name]["summary"])
+            print()
+            if not merged[name]["ok"]:
+                failed += 1
+        return 1 if failed else 0
+
     failed = 0
     for name in names:
         try:
@@ -183,23 +225,179 @@ def figure9_main(argv) -> int:
                         metavar="S",
                         help="also checkpoint in-flight cells every S "
                              "simulated seconds")
+    _add_perf_args(parser)
     args = parser.parse_args(argv)
 
     from repro.experiments.figure9 import run_figure9
+    from repro.perf import maybe_profiled
     from repro.snapshot import CheckpointError
 
     try:
-        result = run_figure9(
-            client_counts=[int(x) for x in args.clients.split(",")],
-            configs=[c.strip() for c in args.configs.split(",")],
-            document=args.document, doc_label=args.doc_label,
-            syn_rate=args.syn_rate, untrusted_cap=args.untrusted_cap,
-            warmup_s=args.warmup, measure_s=args.measure,
-            checkpoint_dir=args.checkpoint_dir,
-            checkpoint_every_s=args.checkpoint_every)
+        with maybe_profiled(args.profile):
+            result = run_figure9(
+                client_counts=[int(x) for x in args.clients.split(",")],
+                configs=[c.strip() for c in args.configs.split(",")],
+                document=args.document, doc_label=args.doc_label,
+                syn_rate=args.syn_rate, untrusted_cap=args.untrusted_cap,
+                warmup_s=args.warmup, measure_s=args.measure,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every_s=args.checkpoint_every,
+                workers=args.workers)
     except CheckpointError as exc:
         return _print_checkpoint_error(exc)
     print(result.format())
+    return 0
+
+
+def figure8_main(argv) -> int:
+    """The base-performance sweep (Figure 8)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro figure8",
+        description="Figure 8: web-server throughput vs parallel clients.")
+    parser.add_argument("--clients", default="1,2,4,8,16,32,64",
+                        help="comma-separated client counts")
+    parser.add_argument("--configs",
+                        default="linux,scout,accounting,accounting_pd")
+    parser.add_argument("--docs", default="1B,1KB,10KB",
+                        help="document labels to sweep (of 1B,1KB,10KB)")
+    parser.add_argument("--warmup", type=float, default=0.6)
+    parser.add_argument("--measure", type=float, default=1.5)
+    _add_perf_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.experiments.figure8 import DOCUMENTS, run_figure8
+    from repro.perf import maybe_profiled
+
+    docs = {label: DOCUMENTS[label]
+            for label in (d.strip() for d in args.docs.split(","))}
+    with maybe_profiled(args.profile):
+        result = run_figure8(
+            client_counts=[int(x) for x in args.clients.split(",")],
+            configs=[c.strip() for c in args.configs.split(",")],
+            docs=docs, warmup_s=args.warmup, measure_s=args.measure,
+            workers=args.workers)
+    print(result.format())
+    return 0
+
+
+def figure10_main(argv) -> int:
+    """The QoS-stream sweep (Figure 10)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro figure10",
+        description="Figure 10: best-effort throughput with and without "
+                    "a 1 MBps QoS stream.")
+    parser.add_argument("--clients", default="16,64")
+    parser.add_argument("--configs", default="accounting,accounting_pd")
+    parser.add_argument("--document", default="/doc-1")
+    parser.add_argument("--doc-label", default="1B")
+    parser.add_argument("--warmup", type=float, default=2.0)
+    parser.add_argument("--measure", type=float, default=3.0)
+    _add_perf_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.experiments.figure10 import run_figure10
+    from repro.perf import maybe_profiled
+
+    with maybe_profiled(args.profile):
+        result = run_figure10(
+            client_counts=[int(x) for x in args.clients.split(",")],
+            configs=[c.strip() for c in args.configs.split(",")],
+            document=args.document, doc_label=args.doc_label,
+            warmup_s=args.warmup, measure_s=args.measure,
+            workers=args.workers)
+    print(result.format())
+    return 0
+
+
+def figure11_main(argv) -> int:
+    """The runaway-CGI sweep (Figure 11)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro figure11",
+        description="Figure 11: runaway-CGI attackers against 64 clients "
+                    "plus the QoS stream.")
+    parser.add_argument("--attackers", default="0,1,10,50")
+    parser.add_argument("--configs", default="accounting,accounting_pd")
+    parser.add_argument("--clients", type=int, default=64)
+    parser.add_argument("--document", default="/doc-1")
+    parser.add_argument("--doc-label", default="1B")
+    parser.add_argument("--warmup", type=float, default=1.5)
+    parser.add_argument("--measure", type=float, default=3.0)
+    _add_perf_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.experiments.figure11 import run_figure11
+    from repro.perf import maybe_profiled
+
+    with maybe_profiled(args.profile):
+        result = run_figure11(
+            attacker_counts=[int(x) for x in args.attackers.split(",")],
+            configs=[c.strip() for c in args.configs.split(",")],
+            clients=args.clients, document=args.document,
+            doc_label=args.doc_label,
+            warmup_s=args.warmup, measure_s=args.measure,
+            workers=args.workers)
+    print(result.format())
+    return 0
+
+
+def ablation_main(argv) -> int:
+    """The design-choice ablations (domains / crossing cost / early drop)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro ablation",
+        description="Ablation sweeps: domain grouping, crossing cost, "
+                    "early vs late SYN drop.")
+    parser.add_argument("--sweep", default="all",
+                        choices=["all", "domains", "crossing", "early-drop"])
+    parser.add_argument("--clients", type=int, default=64)
+    _add_perf_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.experiments.ablation import (
+        run_crossing_cost_sweep,
+        run_domain_sweep,
+        run_early_drop_ablation,
+    )
+    from repro.perf import maybe_profiled
+
+    with maybe_profiled(args.profile):
+        if args.sweep in ("all", "domains"):
+            print(run_domain_sweep(clients=args.clients,
+                                   workers=args.workers).format())
+            print()
+        if args.sweep in ("all", "crossing"):
+            print(run_crossing_cost_sweep(clients=args.clients,
+                                          workers=args.workers).format())
+            print()
+        if args.sweep in ("all", "early-drop"):
+            print(run_early_drop_ablation(
+                clients=min(args.clients, 32),
+                workers=args.workers).format())
+    return 0
+
+
+def bench_main(argv) -> int:
+    """The wall-clock benchmark suite; writes BENCH_sim.json."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Benchmark event-loop throughput, end-to-end run "
+                    "wall-clock, and sweep scaling at 1/2/4 workers.")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke run)")
+    parser.add_argument("--output", "-o", default="BENCH_sim.json",
+                        help="report path (default BENCH_sim.json; '-' "
+                             "to skip writing)")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="skip the multi-worker sweep benchmark")
+    args = parser.parse_args(argv)
+
+    from repro.perf.bench import format_report, run_bench
+
+    report = run_bench(quick=args.quick,
+                       output=None if args.output == "-" else args.output,
+                       skip_sweep=args.skip_sweep)
+    print(format_report(report))
+    if args.output != "-":
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -275,7 +473,12 @@ def replay_main(argv) -> int:
 _SUBCOMMANDS = {
     "chaos": chaos_main,
     "experiment": experiment_main,
+    "figure8": figure8_main,
     "figure9": figure9_main,
+    "figure10": figure10_main,
+    "figure11": figure11_main,
+    "ablation": ablation_main,
+    "bench": bench_main,
     "record": record_main,
     "replay": replay_main,
 }

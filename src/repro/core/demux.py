@@ -74,6 +74,11 @@ class Classification:
 
     def demux_cycles(self, kernel: "Kernel") -> int:
         """Cycle cost of this classification under ``kernel``'s config."""
+        table = getattr(kernel, "demux_table", None)
+        if table is not None:
+            return table.cost(self.modules_consulted, self.domain_switches,
+                              self.kind == DROP)
+        # Stub kernels in unit tests may lack the precomputed table.
         costs = kernel.costs
         cycles = self.modules_consulted * costs.demux_per_module
         if kernel.pd_enabled:

@@ -18,13 +18,10 @@ Three sweeps, each probing one claim from the paper's analysis:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
-from repro.experiments.harness import TRUSTED_SUBNET, Testbed
 from repro.experiments.report import format_table
-from repro.policy import SynFloodPolicy
-from repro.sim.costs import CostModel
 
 #: Progressive grouping of the Figure 1 modules: index = domains used.
 GROUPINGS: Dict[int, List[List[str]]] = {
@@ -68,18 +65,20 @@ class DomainSweepResult:
 def run_domain_sweep(domain_counts: Sequence[int] = (1, 2, 4, 7),
                      clients: int = 64,
                      warmup_s: float = 0.5,
-                     measure_s: float = 1.0) -> DomainSweepResult:
+                     measure_s: float = 1.0,
+                     workers: int = 0) -> DomainSweepResult:
     """Measure throughput while grouping modules into fewer domains."""
-    rates = []
-    for n in domain_counts:
-        groups = GROUPINGS[n]
-        bed = Testbed.escort(accounting=True, protection_domains=True,
-                             domain_groups=groups)
-        bed.add_clients(clients, document="/doc-1")
-        run = bed.run(warmup_s=warmup_s, measure_s=measure_s)
-        rates.append(run.connections_per_second)
-    return DomainSweepResult(domains=list(domain_counts),
-                             conn_per_second=rates)
+    from repro.perf.pool import SweepCell, run_cells
+
+    cells = [SweepCell(key=f"domains/{n}", runner="ablation-domains",
+                       params=dict(domains=n, clients=clients,
+                                   warmup_s=warmup_s, measure_s=measure_s))
+             for n in domain_counts]
+    merged = run_cells(cells, workers=workers)
+    return DomainSweepResult(
+        domains=list(domain_counts),
+        conn_per_second=[merged[f"domains/{n}"]["cps"]
+                         for n in domain_counts])
 
 
 @dataclass
@@ -100,24 +99,20 @@ class CrossingCostResult:
 def run_crossing_cost_sweep(factors: Sequence[float] = (1.0, 0.5, 0.25),
                             clients: int = 64,
                             warmup_s: float = 0.5,
-                            measure_s: float = 1.0) -> CrossingCostResult:
+                            measure_s: float = 1.0,
+                            workers: int = 0) -> CrossingCostResult:
     """Rerun Accounting_PD with cheaper protection-domain crossings."""
-    base = CostModel.default()
-    costs_list = []
-    rates = []
-    for factor in factors:
-        costs = replace(
-            base,
-            pd_crossing=int(base.pd_crossing * factor),
-            demux_pd_penalty=int(base.demux_pd_penalty * factor))
-        bed = Testbed.escort(accounting=True, protection_domains=True,
-                             costs=costs)
-        bed.add_clients(clients, document="/doc-1")
-        run = bed.run(warmup_s=warmup_s, measure_s=measure_s)
-        costs_list.append(costs.pd_crossing)
-        rates.append(run.connections_per_second)
-    return CrossingCostResult(crossing_costs=costs_list,
-                              conn_per_second=rates)
+    from repro.perf.pool import SweepCell, run_cells
+
+    cells = [SweepCell(key=f"crossing/{factor}", runner="ablation-crossing",
+                       params=dict(factor=factor, clients=clients,
+                                   warmup_s=warmup_s, measure_s=measure_s))
+             for factor in factors]
+    merged = run_cells(cells, workers=workers)
+    return CrossingCostResult(
+        crossing_costs=[merged[f"crossing/{f}"]["crossing"]
+                        for f in factors],
+        conn_per_second=[merged[f"crossing/{f}"]["cps"] for f in factors])
 
 
 @dataclass
@@ -139,36 +134,19 @@ class EarlyDropResult:
 
 def run_early_drop_ablation(clients: int = 32, syn_rate: int = 1000,
                             warmup_s: float = 1.5,
-                            measure_s: float = 1.5) -> EarlyDropResult:
+                            measure_s: float = 1.5,
+                            workers: int = 0) -> EarlyDropResult:
     """Compare demux-time vs passive-path SYN-cap enforcement."""
-    results = {}
-    for early in (True, False):
-        policy = SynFloodPolicy(TRUSTED_SUBNET, untrusted_cap=16)
-        bed = Testbed.escort(accounting=True, policies=[policy])
-        bed.add_clients(clients, document="/doc-1")
-        bed.add_syn_attacker(syn_rate)
-        if not early:
-            # Disable the demux-time check: the cap is then enforced only
-            # after the SYN has been delivered to the passive path.  Boot
-            # first so the passive paths exist (run() re-boots, which is
-            # idempotent).
-            from repro.sim.clock import seconds_to_ticks
-            bed.server.boot()
-            bed.sim.run(until=seconds_to_ticks(0.02))
-            untrusted = bed.server.http.passive_paths[1]
+    from repro.perf.pool import SweepCell, run_cells
 
-            def late_demux(dgram, orig=bed.server.tcp.demux,
-                           path=untrusted):
-                result = orig(dgram)
-                if result.kind == "drop" and result.reason == "syn-cap":
-                    from repro.core.demux import DemuxResult
-                    return DemuxResult.to_path(path)
-                return result
-
-            bed.server.tcp.demux = late_demux
-        run = bed.run(warmup_s=warmup_s, measure_s=measure_s)
-        results[early] = run
+    cells = [SweepCell(key=f"drop/{'early' if early else 'late'}",
+                       runner="ablation-early-drop",
+                       params=dict(early=early, clients=clients,
+                                   syn_rate=syn_rate, warmup_s=warmup_s,
+                                   measure_s=measure_s))
+             for early in (True, False)]
+    merged = run_cells(cells, workers=workers)
     return EarlyDropResult(
-        early_conn_per_second=results[True].connections_per_second,
-        late_conn_per_second=results[False].connections_per_second,
-        early_drops=results[True].syn_dropped_at_demux)
+        early_conn_per_second=merged["drop/early"]["cps"],
+        late_conn_per_second=merged["drop/late"]["cps"],
+        early_drops=merged["drop/early"]["early_drops"])

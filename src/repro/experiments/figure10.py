@@ -14,9 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.harness import Testbed
 from repro.experiments.report import format_table
-from repro.policy import QosPolicy
 
 PAPER_SLOWDOWN = {"accounting": 0.15, "accounting_pd": 0.50}
 QOS_TARGET_BPS = 1_000_000
@@ -64,8 +62,27 @@ def run_figure10(client_counts: Sequence[int] = (16, 64),
                  configs: Sequence[str] = ("accounting", "accounting_pd"),
                  document: str = "/doc-1", doc_label: str = "1B",
                  warmup_s: float = 2.0,
-                 measure_s: float = 3.0) -> Figure10Result:
-    """Measure best-effort throughput with and without the QoS stream."""
+                 measure_s: float = 3.0,
+                 workers: int = 0) -> Figure10Result:
+    """Measure best-effort throughput with and without the QoS stream.
+
+    ``workers > 1`` runs the cells on a process pool; results are
+    byte-identical to a serial sweep.
+    """
+    from repro.perf.pool import SweepCell, run_cells
+
+    def key(config: str, n: int, with_qos: bool) -> str:
+        return f"{config}/{n}/{'qos' if with_qos else 'base'}"
+
+    cells = [SweepCell(key=key(config, n, with_qos), runner="figure10",
+                       params=dict(config=config, clients=n,
+                                   with_qos=with_qos, document=document,
+                                   warmup_s=warmup_s, measure_s=measure_s))
+             for config in configs
+             for n in client_counts
+             for with_qos in (False, True)]
+    merged = run_cells(cells, workers=workers)
+
     result = Figure10Result(client_counts=list(client_counts),
                             doc_label=doc_label)
     for config in configs:
@@ -74,18 +91,13 @@ def run_figure10(client_counts: Sequence[int] = (16, 64),
         windows: List[float] = []
         for n in client_counts:
             for with_qos in (False, True):
-                bed = Testbed.by_name(
-                    config, policies=[QosPolicy(QOS_TARGET_BPS)])
-                bed.add_clients(n, document=document)
+                cell = merged[key(config, n, with_qos)]
                 if with_qos:
-                    bed.add_qos_receiver()
-                run = bed.run(warmup_s=warmup_s, measure_s=measure_s)
-                if with_qos:
-                    qos_series.append(run.connections_per_second)
-                    bw = run.qos_bandwidth_bps
-                    windows = run.qos_windows
+                    qos_series.append(cell["cps"])
+                    bw = cell["qos_bw"]
+                    windows = cell["qos_windows"]
                 else:
-                    base_series.append(run.connections_per_second)
+                    base_series.append(cell["cps"])
         result.series[config] = {"base": base_series, "qos": qos_series}
         result.qos_bandwidth[config] = bw
         result.qos_windows[config] = windows

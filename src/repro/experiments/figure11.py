@@ -18,9 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.harness import Testbed
 from repro.experiments.report import format_table
-from repro.policy import QosPolicy, RunawayPolicy
 
 QOS_TARGET_BPS = 1_000_000
 
@@ -75,23 +73,32 @@ def run_figure11(attacker_counts: Sequence[int] = (0, 1, 10, 50),
                  clients: int = 64,
                  document: str = "/doc-1", doc_label: str = "1B",
                  warmup_s: float = 1.5,
-                 measure_s: float = 3.0) -> Figure11Result:
-    """Sweep CGI attacker counts against 64 clients plus the stream."""
+                 measure_s: float = 3.0,
+                 workers: int = 0) -> Figure11Result:
+    """Sweep CGI attacker counts against 64 clients plus the stream.
+
+    ``workers > 1`` runs the cells on a process pool; results are
+    byte-identical to a serial sweep.
+    """
+    from repro.perf.pool import SweepCell, run_cells
+
+    cells = [SweepCell(key=f"{config}/{n_attackers}", runner="figure11",
+                       params=dict(config=config, attackers=n_attackers,
+                                   clients=clients, document=document,
+                                   warmup_s=warmup_s, measure_s=measure_s))
+             for config in configs
+             for n_attackers in attacker_counts]
+    merged = run_cells(cells, workers=workers)
+
     result = Figure11Result(attacker_counts=list(attacker_counts),
                             doc_label=doc_label)
     for config in configs:
         series, qos_series, kills = [], [], []
         for n_attackers in attacker_counts:
-            bed = Testbed.by_name(config, policies=[
-                QosPolicy(QOS_TARGET_BPS), RunawayPolicy(2.0)])
-            bed.add_clients(clients, document=document)
-            bed.add_qos_receiver()
-            if n_attackers:
-                bed.add_cgi_attackers(n_attackers)
-            run = bed.run(warmup_s=warmup_s, measure_s=measure_s)
-            series.append(run.connections_per_second)
-            qos_series.append(run.qos_bandwidth_bps)
-            kills.append(run.runaway_kills)
+            cell = merged[f"{config}/{n_attackers}"]
+            series.append(cell["cps"])
+            qos_series.append(cell["qos_bw"])
+            kills.append(cell["kills"])
         result.series[config] = series
         result.qos_series[config] = qos_series
         result.kills[config] = kills

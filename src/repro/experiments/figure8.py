@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.harness import Testbed
 from repro.experiments.report import format_table
 
 CONFIGS = ("linux", "scout", "accounting", "accounting_pd")
@@ -71,19 +70,29 @@ def run_figure8(client_counts: Sequence[int] = DEFAULT_CLIENTS,
                 configs: Sequence[str] = CONFIGS,
                 docs: Dict[str, str] = None,
                 warmup_s: float = 0.6,
-                measure_s: float = 1.5) -> Figure8Result:
-    """Regenerate Figure 8's three panels."""
+                measure_s: float = 1.5,
+                workers: int = 0) -> Figure8Result:
+    """Regenerate Figure 8's three panels.
+
+    ``workers > 1`` runs the (document, config, clients) cells on a
+    process pool; results are byte-identical to a serial sweep.
+    """
+    from repro.perf.pool import SweepCell, run_cells
+
     docs = docs or DOCUMENTS
+    cells = [SweepCell(key=f"{doc_label}/{config}/{n}", runner="figure8",
+                       params=dict(config=config, clients=n, document=uri,
+                                   warmup_s=warmup_s, measure_s=measure_s))
+             for doc_label, uri in docs.items()
+             for config in configs
+             for n in client_counts]
+    merged = run_cells(cells, workers=workers)
+
     result = Figure8Result(client_counts=list(client_counts))
-    for doc_label, uri in docs.items():
+    for doc_label in docs:
         per_config: Dict[str, List[float]] = {}
         for config in configs:
-            series = []
-            for n in client_counts:
-                bed = Testbed.by_name(config)
-                bed.add_clients(n, document=uri)
-                run = bed.run(warmup_s=warmup_s, measure_s=measure_s)
-                series.append(run.connections_per_second)
-            per_config[config] = series
+            per_config[config] = [merged[f"{doc_label}/{config}/{n}"]["cps"]
+                                  for n in client_counts]
         result.series[doc_label] = per_config
     return result

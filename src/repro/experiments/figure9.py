@@ -60,6 +60,14 @@ class Figure9Result:
             f"attack (connections/second)", headers, rows, note=notes)
 
 
+def _cell_key(config: str, n: int, attack: bool, document: str,
+              syn_rate: int, untrusted_cap: int, warmup_s: float,
+              measure_s: float) -> str:
+    """The stable cache-key format of the per-cell resume cache."""
+    return (f"{config}/{n}/{'attack' if attack else 'base'}/{document}"
+            f"/{syn_rate}/{untrusted_cap}/{warmup_s}/{measure_s}")
+
+
 def run_figure9(client_counts: Sequence[int] = (16, 64),
                 configs: Sequence[str] = ("accounting", "accounting_pd"),
                 document: str = "/doc-1", doc_label: str = "1B",
@@ -68,7 +76,8 @@ def run_figure9(client_counts: Sequence[int] = (16, 64),
                 warmup_s: float = 2.0,
                 measure_s: float = 2.0,
                 checkpoint_dir: Optional[str] = None,
-                checkpoint_every_s: Optional[float] = None) -> Figure9Result:
+                checkpoint_every_s: Optional[float] = None,
+                workers: int = 0) -> Figure9Result:
     """Measure best-effort throughput with and without the SYN flood.
 
     With ``checkpoint_dir``, every finished (config, clients, attack) cell
@@ -79,7 +88,14 @@ def run_figure9(client_counts: Sequence[int] = (16, 64),
     survives an interruption (resume it with ``python -m repro experiment
     --resume``).  A cache written by a different checkpoint format version
     raises :class:`~repro.snapshot.checkpoint.CheckpointVersionError`.
+
+    ``workers > 1`` fans the cells out over a process pool
+    (:mod:`repro.perf.pool`); per-cell results are byte-identical to a
+    serial run, and the resume cache works the same way — a restarted
+    parallel sweep skips finished cells.
     """
+    from repro.perf.pool import SweepCell, run_cells
+
     cache: Dict[str, Dict] = {}
     cache_path = None
     if checkpoint_dir:
@@ -91,6 +107,32 @@ def run_figure9(client_counts: Sequence[int] = (16, 64),
             if payload.get("kind") == "figure9-cells":
                 cache = payload["cells"]
 
+    cells = []
+    for config in configs:
+        for n in client_counts:
+            for attack in (False, True):
+                params = dict(config=config, clients=n, attack=attack,
+                              document=document, syn_rate=syn_rate,
+                              untrusted_cap=untrusted_cap,
+                              warmup_s=warmup_s, measure_s=measure_s)
+                if checkpoint_dir and checkpoint_every_s:
+                    params["checkpoint_dir"] = checkpoint_dir
+                    params["checkpoint_every_s"] = checkpoint_every_s
+                cells.append(SweepCell(
+                    key=_cell_key(config, n, attack, document, syn_rate,
+                                  untrusted_cap, warmup_s, measure_s),
+                    runner="figure9", params=params))
+
+    def persist(cell: "SweepCell", value: Dict) -> None:
+        cache[cell.key] = value
+        if cache_path:
+            from repro.snapshot.checkpoint import save_checkpoint
+            save_checkpoint(cache_path, {"kind": "figure9-cells",
+                                         "cells": cache})
+
+    merged = run_cells(cells, workers=workers, cache=cache,
+                       on_cell_done=persist)
+
     result = Figure9Result(client_counts=list(client_counts),
                            doc_label=doc_label)
     for config in configs:
@@ -98,10 +140,9 @@ def run_figure9(client_counts: Sequence[int] = (16, 64),
         sent = dropped = 0
         for n in client_counts:
             for attack in (False, True):
-                cell = _run_cell(config, n, attack, document, syn_rate,
-                                 untrusted_cap, warmup_s, measure_s,
-                                 cache, cache_path, checkpoint_dir,
-                                 checkpoint_every_s)
+                cell = merged[_cell_key(config, n, attack, document,
+                                        syn_rate, untrusted_cap,
+                                        warmup_s, measure_s)]
                 if attack:
                     attack_series.append(cell["cps"])
                     sent = cell["syn_sent"]
@@ -112,39 +153,3 @@ def run_figure9(client_counts: Sequence[int] = (16, 64),
                                  "attack": attack_series}
         result.syn_stats[config] = {"sent": sent, "dropped": dropped}
     return result
-
-
-def _run_cell(config: str, n: int, attack: bool, document: str,
-              syn_rate: int, untrusted_cap: int, warmup_s: float,
-              measure_s: float, cache: Dict[str, Dict],
-              cache_path: Optional[str], checkpoint_dir: Optional[str],
-              checkpoint_every_s: Optional[float]) -> Dict:
-    """One (config, clients, attack) cell, cached if a cache is in play."""
-    key = (f"{config}/{n}/{'attack' if attack else 'base'}/{document}"
-           f"/{syn_rate}/{untrusted_cap}/{warmup_s}/{measure_s}")
-    if key in cache:
-        return cache[key]
-
-    from repro.snapshot.driver import RunDriver
-    from repro.snapshot.runs import ExperimentRun
-
-    run = ExperimentRun(config, clients=n, document=document,
-                        syn_rate=syn_rate if attack else 0,
-                        untrusted_cap=untrusted_cap,
-                        warmup_s=warmup_s, measure_s=measure_s)
-    driver = RunDriver(run)
-    if checkpoint_dir and checkpoint_every_s:
-        stem = f"fig9-{config}-{n}-{'attack' if attack else 'base'}"
-        res, _ = driver.run_with_checkpoints(checkpoint_every_s,
-                                             checkpoint_dir, stem)
-    else:
-        res = driver.run_all()
-    cell = {"cps": res.connections_per_second,
-            "syn_sent": res.syn_sent,
-            "syn_dropped": res.syn_dropped_at_demux}
-    cache[key] = cell
-    if cache_path:
-        from repro.snapshot.checkpoint import save_checkpoint
-        save_checkpoint(cache_path, {"kind": "figure9-cells",
-                                     "cells": cache})
-    return cell

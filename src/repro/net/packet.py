@@ -53,7 +53,7 @@ class TCPSegment:
     """A TCP segment: real header fields, simulated payload."""
 
     __slots__ = ("src_port", "dst_port", "seq", "ack", "flags",
-                 "payload_len", "app_data")
+                 "payload_len", "app_data", "size", "seq_span")
 
     def __init__(self, src_port: int, dst_port: int, seq: int, ack: int,
                  flags: int, payload_len: int = 0, app_data: Any = None):
@@ -64,20 +64,17 @@ class TCPSegment:
         self.flags = flags
         self.payload_len = payload_len
         self.app_data = app_data
-
-    @property
-    def size(self) -> int:
-        return TCP_HEADER + self.payload_len
-
-    @property
-    def seq_span(self) -> int:
-        """Sequence-number space consumed (payload plus SYN/FIN)."""
-        span = self.payload_len
-        if self.flags & FLAG_SYN:
+        # Header fields never change after construction, so the derived
+        # sizes are plain attributes, not properties — these are read on
+        # every hop of every packet (serialization delay, copy costs).
+        self.size = TCP_HEADER + payload_len
+        #: Sequence-number space consumed (payload plus SYN/FIN).
+        span = payload_len
+        if flags & FLAG_SYN:
             span += 1
-        if self.flags & FLAG_FIN:
+        if flags & FLAG_FIN:
             span += 1
-        return span
+        self.seq_span = span
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<TCP {self.src_port}->{self.dst_port} "
@@ -88,18 +85,14 @@ class TCPSegment:
 class IPDatagram:
     """An IPv4 datagram wrapping a transport payload."""
 
-    __slots__ = ("src_ip", "dst_ip", "proto", "payload")
+    __slots__ = ("src_ip", "dst_ip", "proto", "payload", "size")
 
     def __init__(self, src_ip: str, dst_ip: str, proto: int, payload: Any):
         self.src_ip = src_ip
         self.dst_ip = dst_ip
         self.proto = proto
         self.payload = payload
-
-    @property
-    def size(self) -> int:
-        inner = getattr(self.payload, "size", 0)
-        return IP_HEADER + inner
+        self.size = IP_HEADER + getattr(payload, "size", 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<IP {self.src_ip}->{self.dst_ip} {self.payload!r}>"
@@ -108,7 +101,8 @@ class IPDatagram:
 class ArpPacket:
     """ARP request/reply."""
 
-    __slots__ = ("op", "sender_ip", "sender_mac", "target_ip", "target_mac")
+    __slots__ = ("op", "sender_ip", "sender_mac", "target_ip", "target_mac",
+                 "size")
 
     REQUEST = 1
     REPLY = 2
@@ -120,10 +114,7 @@ class ArpPacket:
         self.sender_mac = sender_mac
         self.target_ip = target_ip
         self.target_mac = target_mac
-
-    @property
-    def size(self) -> int:
-        return 28
+        self.size = 28
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "REQ" if self.op == self.REQUEST else "REPLY"
@@ -138,7 +129,8 @@ class EthFrame:
     at the link-layer CRC check, exactly like real hardware.
     """
 
-    __slots__ = ("src_mac", "dst_mac", "ethertype", "payload", "corrupted")
+    __slots__ = ("src_mac", "dst_mac", "ethertype", "payload", "corrupted",
+                 "wire_size")
 
     def __init__(self, src_mac, dst_mac, ethertype: int, payload: Any,
                  corrupted: bool = False):
@@ -147,11 +139,8 @@ class EthFrame:
         self.ethertype = ethertype
         self.payload = payload
         self.corrupted = corrupted
-
-    @property
-    def wire_size(self) -> int:
-        inner = getattr(self.payload, "size", 0)
-        return max(64, ETH_HEADER + inner)  # minimum Ethernet frame
+        inner = getattr(payload, "size", 0)
+        self.wire_size = max(64, ETH_HEADER + inner)  # minimum Ethernet frame
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Eth {self.src_mac!r}->{self.dst_mac!r} {self.payload!r}>"

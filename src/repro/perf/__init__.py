@@ -1,0 +1,15 @@
+"""Performance layer: parallel sweep execution, benchmarks, profiling.
+
+Every figure in the paper is a sweep of independent cells (one simulated
+machine per cell), which makes the harness embarrassingly parallel:
+:mod:`repro.perf.pool` fans cells out over a process pool and merges the
+results in deterministic cell order, :mod:`repro.perf.cells` holds the
+picklable cell runners, :mod:`repro.perf.bench` measures event-loop and
+sweep throughput into ``BENCH_sim.json``, and :mod:`repro.perf.profiling`
+is the ``--profile`` cProfile hook.
+"""
+
+from repro.perf.pool import SweepCell, run_cells
+from repro.perf.profiling import maybe_profiled
+
+__all__ = ["SweepCell", "run_cells", "maybe_profiled"]

@@ -1,0 +1,314 @@
+"""Wall-clock benchmark suite — ``python -m repro bench``.
+
+Three measurements, written to ``BENCH_sim.json`` in a stable schema
+(``escort-bench/1``) so the perf trajectory is tracked across PRs:
+
+1. **Event-loop throughput** (events/sec): a synthetic event mix — future
+   timers, timer churn with cancellation, zero-delay hand-off chains — run
+   on the current :class:`repro.sim.engine.Simulator` and on
+   :class:`_LegacySimulator`, a faithful copy of the engine as it stood
+   before the hot-path work (object heap, helper-per-pop, no fast lane).
+   The ratio is the engine speedup, measured on the same machine in the
+   same process.
+2. **End-to-end run wall-clock**: one representative Figure-9-style cell
+   (accounting config, SYN flood) through the full snapshot driver.
+3. **Sweep wall-clock** at 1/2/4 workers on a small Figure-9 grid, giving
+   the parallel-efficiency numbers for this host.
+
+Timings use the best of N repetitions (minimum is the standard estimator
+for noisy wall-clock measurement); simulated results are deterministic, so
+repetitions only de-noise the clock, never the workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+
+SCHEMA = "escort-bench/1"
+
+
+# ----------------------------------------------------------------------
+# The pre-optimization engine, kept verbatim as the comparison baseline
+# ----------------------------------------------------------------------
+class _LegacyEvent:
+    __slots__ = ("time", "seq", "fn", "cancelled", "sim")
+
+    def __init__(self, time, seq, fn, sim=None):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+        self.sim = sim
+
+    def cancel(self):
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.fn = None
+        if self.sim is not None:
+            self.sim._note_cancel()
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class _LegacySimulator:
+    """The event loop as shipped before this PR (baseline for speedup)."""
+
+    COMPACT_MIN_QUEUE = 64
+
+    def __init__(self):
+        self.now = 0
+        self._queue: List[_LegacyEvent] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._cancelled_pending = 0
+        self.compactions = 0
+
+    def schedule(self, delay, fn):
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self.now + delay, fn)
+
+    def at(self, time_, fn):
+        if time_ < self.now:
+            raise ValueError(f"cannot schedule in the past: {time_} < {self.now}")
+        self._seq += 1
+        ev = _LegacyEvent(time_, self._seq, fn, sim=self)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def _note_cancel(self):
+        self._cancelled_pending += 1
+        if (self._cancelled_pending * 2 > len(self._queue)
+                and len(self._queue) >= self.COMPACT_MIN_QUEUE):
+            self._compact()
+
+    def _compact(self):
+        self._queue = [ev for ev in self._queue if not ev.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+        self.compactions += 1
+
+    def _pop_cancelled(self):
+        heapq.heappop(self._queue)
+        if self._cancelled_pending > 0:
+            self._cancelled_pending -= 1
+
+    def step(self):
+        while self._queue:
+            if self._queue[0].cancelled:
+                self._pop_cancelled()
+                continue
+            ev = heapq.heappop(self._queue)
+            self.now = ev.time
+            self._events_processed += 1
+            ev.fn()
+            return True
+        return False
+
+    def run(self):
+        while self.step():
+            pass
+
+    @property
+    def events_processed(self):
+        return self._events_processed
+
+
+# ----------------------------------------------------------------------
+# Microbench: the synthetic event mix
+# ----------------------------------------------------------------------
+def _drive_event_mix(sim, n_rounds: int) -> int:
+    """Schedule and run a representative mix; returns events executed.
+
+    Per round: a burst of future timers (the CPU-chunk pattern), a timer
+    that is cancelled before firing (the TCP-retransmit pattern), and a
+    zero-delay hand-off chain (the module-graph pattern).
+    """
+    counter = [0]
+
+    def tick():
+        counter[0] += 1
+
+    def chain(depth):
+        counter[0] += 1
+        if depth:
+            sim.schedule(0, lambda: chain(depth - 1))
+
+    for i in range(n_rounds):
+        base = 10 + (i % 97)
+        for j in range(8):
+            sim.schedule(base + j * 3, tick)
+        victim = sim.schedule(base + 1000, tick)
+        sim.schedule(base, lambda v=victim: v.cancel())
+        sim.schedule(base + 2, lambda: chain(4))
+    sim.run()
+    return sim.events_processed
+
+
+def _best_of(fn: Callable[[], float], reps: int) -> float:
+    return min(fn() for _ in range(max(1, reps)))
+
+
+def bench_event_loop(n_rounds: int = 20_000, reps: int = 3) -> Dict:
+    """Current vs legacy engine on the same synthetic mix."""
+    def time_engine(make_sim):
+        def once() -> float:
+            sim = make_sim()
+            t0 = time.perf_counter()
+            _drive_event_mix(sim, n_rounds)
+            return time.perf_counter() - t0
+        return once
+
+    current_s = _best_of(time_engine(Simulator), reps)
+    legacy_s = _best_of(time_engine(_LegacySimulator), reps)
+    # Event counts are identical by construction; take one for the rate.
+    events = _drive_event_mix(Simulator(), n_rounds)
+    current_eps = events / current_s
+    legacy_eps = events / legacy_s
+    return {
+        "events": events,
+        "wall_s": round(current_s, 4),
+        "events_per_sec": round(current_eps),
+        "legacy_wall_s": round(legacy_s, 4),
+        "legacy_events_per_sec": round(legacy_eps),
+        "speedup_vs_legacy": round(current_eps / legacy_eps, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# End-to-end run
+# ----------------------------------------------------------------------
+def bench_end_to_end(clients: int = 8, syn_rate: int = 1000,
+                     warmup_s: float = 0.3, measure_s: float = 1.0,
+                     reps: int = 2) -> Dict:
+    """One representative experiment cell through the snapshot driver."""
+    from repro.snapshot.driver import RunDriver
+    from repro.snapshot.runs import ExperimentRun, reset_ids
+
+    stats = {}
+
+    def once() -> float:
+        reset_ids()
+        run = ExperimentRun("accounting", clients=clients,
+                            syn_rate=syn_rate, untrusted_cap=8,
+                            warmup_s=warmup_s, measure_s=measure_s)
+        driver = RunDriver(run)
+        t0 = time.perf_counter()
+        driver.run_all()
+        dt = time.perf_counter() - t0
+        stats["events"] = driver.sim.events_processed
+        stats["queue_health"] = driver.sim.queue_health()
+        return dt
+
+    wall = _best_of(once, reps)
+    return {
+        "clients": clients,
+        "syn_rate": syn_rate,
+        "simulated_s": warmup_s + measure_s,
+        "wall_s": round(wall, 4),
+        "events": stats["events"],
+        "events_per_sec": round(stats["events"] / wall),
+        "queue_health": stats["queue_health"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Sweep scaling
+# ----------------------------------------------------------------------
+def bench_sweep(worker_counts=(1, 2, 4), quick: bool = False) -> Dict:
+    """Figure-9 grid wall-clock at several worker counts."""
+    from repro.experiments.figure9 import run_figure9
+
+    kw = dict(client_counts=(2, 4) if quick else (4, 8, 16),
+              configs=("accounting",) if quick else
+                      ("accounting", "accounting_pd"),
+              syn_rate=500,
+              warmup_s=0.2 if quick else 0.4,
+              measure_s=0.3 if quick else 0.8)
+    n_cells = (len(kw["client_counts"]) * len(kw["configs"]) * 2)
+
+    walls: Dict[str, float] = {}
+    reference = None
+    for workers in worker_counts:
+        t0 = time.perf_counter()
+        result = run_figure9(workers=workers, **kw)
+        walls[str(workers)] = round(time.perf_counter() - t0, 4)
+        blob = json.dumps([result.series, result.syn_stats], sort_keys=True)
+        if reference is None:
+            reference = blob
+        elif blob != reference:
+            raise AssertionError(
+                f"sweep at workers={workers} diverged from serial results")
+    out = {"cells": n_cells, "wall_s": walls,
+           "results_identical_across_worker_counts": True}
+    if "1" in walls and "4" in walls and walls["4"] > 0:
+        out["speedup_4_workers"] = round(walls["1"] / walls["4"], 3)
+    if "1" in walls and "2" in walls and walls["2"] > 0:
+        out["speedup_2_workers"] = round(walls["1"] / walls["2"], 3)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_bench(quick: bool = False, output: str = "BENCH_sim.json",
+              skip_sweep: bool = False) -> Dict:
+    """Run the full suite and write ``BENCH_sim.json``."""
+    report = {
+        "schema": SCHEMA,
+        "quick": bool(quick),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "event_loop": bench_event_loop(
+            n_rounds=4_000 if quick else 20_000,
+            reps=2 if quick else 3),
+        "end_to_end": bench_end_to_end(
+            clients=4 if quick else 8,
+            warmup_s=0.2 if quick else 0.3,
+            measure_s=0.3 if quick else 1.0,
+            reps=1 if quick else 2),
+    }
+    if not skip_sweep:
+        report["sweep"] = bench_sweep(
+            worker_counts=(1, 2) if quick else (1, 2, 4), quick=quick)
+    if output:
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable one-screen summary of a bench report."""
+    lines = [f"bench ({report['schema']}, "
+             f"{report['host']['cpu_count']} cpus, "
+             f"python {report['host']['python']})"]
+    ev = report["event_loop"]
+    lines.append(f"  event loop    {ev['events_per_sec']:>12,} ev/s   "
+                 f"({ev['speedup_vs_legacy']:.2f}x vs pre-PR engine at "
+                 f"{ev['legacy_events_per_sec']:,} ev/s)")
+    e2e = report["end_to_end"]
+    lines.append(f"  end-to-end    {e2e['wall_s']:>10.3f} s     "
+                 f"({e2e['events']:,} events, "
+                 f"{e2e['events_per_sec']:,} ev/s)")
+    sweep = report.get("sweep")
+    if sweep:
+        per_w = ", ".join(f"{w}w={s:.2f}s"
+                          for w, s in sorted(sweep["wall_s"].items()))
+        extra = ""
+        if "speedup_4_workers" in sweep:
+            extra = f"   (4-worker speedup {sweep['speedup_4_workers']:.2f}x)"
+        lines.append(f"  sweep         {sweep['cells']} cells: {per_w}{extra}")
+    return "\n".join(lines)

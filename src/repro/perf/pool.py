@@ -1,0 +1,105 @@
+"""Parallel sweep execution over a process pool.
+
+A sweep is a list of :class:`SweepCell` values, each naming a registered
+cell runner (see :mod:`repro.perf.cells`) plus its JSON-able parameters.
+:func:`run_cells` executes them — serially by default, or fanned out over
+a ``ProcessPoolExecutor`` — and returns ``{cell.key: result}``.
+
+Determinism contract:
+
+* Workers share nothing.  Each cell rebuilds its simulated machine from
+  scratch inside its own process, after :func:`repro.snapshot.runs.reset_ids`,
+  so object ids (and everything derived from them) are identical no matter
+  which worker runs the cell or in what order.  The serial path resets ids
+  the same way, making serial and parallel sweeps byte-identical per cell.
+* Results are merged in submission (cell-list) order, not completion
+  order, so the returned mapping is independent of scheduling.
+* Only ``(runner-name, params)`` crosses the process boundary — no
+  closures, no machine state — which keeps cells picklable and workers
+  restartable.
+
+A pre-populated ``cache`` (e.g. the figure9 ``figure9-cells.ckpt`` cell
+cache) short-circuits finished cells, so a resumed parallel sweep only
+runs what is missing; ``on_cell_done`` fires as cells finish (completion
+order) so callers can persist the cache crash-safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: a registered runner plus its parameters."""
+
+    #: Stable unique identity — cache key and merge position.
+    key: str
+    #: Name in :data:`repro.perf.cells.CELL_RUNNERS`.
+    runner: str
+    #: JSON-able keyword arguments for the runner.
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+def _run_cell_job(runner: str, params: Dict[str, Any]) -> Any:
+    """Worker entry point: import the registry, reset ids, run the cell."""
+    from repro.perf import cells
+    return cells.run_cell(runner, params)
+
+
+def run_cells(cells_seq: Sequence[SweepCell], workers: int = 0,
+              cache: Optional[Dict[str, Any]] = None,
+              on_cell_done: Optional[Callable[[SweepCell, Any], None]] = None,
+              ) -> Dict[str, Any]:
+    """Execute a sweep; returns ``{key: result}`` in cell-list order.
+
+    ``workers <= 1`` runs serially in-process.  ``cache`` maps cell keys to
+    already-computed results; cached cells are returned without running and
+    without invoking ``on_cell_done`` (they were already persisted).
+    """
+    cells_list = list(cells_seq)
+    keys = [c.key for c in cells_list]
+    if len(set(keys)) != len(keys):
+        dupes = sorted({k for k in keys if keys.count(k) > 1})
+        raise ValueError(f"duplicate sweep cell keys: {dupes}")
+    cache = cache or {}
+    todo = [c for c in cells_list if c.key not in cache]
+
+    results: Dict[str, Any] = {}
+    if workers and workers > 1 and todo:
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+        from concurrent.futures import wait as futures_wait
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_run_cell_job, c.runner, c.params): c
+                       for c in todo}
+            # Drain in completion order so on_cell_done can persist the
+            # cache incrementally (crash-resumable sweeps); the final merge
+            # below restores deterministic order regardless.
+            pending = set(futures)
+            while pending:
+                done, pending = futures_wait(pending,
+                                             return_when=FIRST_COMPLETED)
+                for fut in done:
+                    cell = futures[fut]
+                    result = fut.result()
+                    results[cell.key] = result
+                    if on_cell_done is not None:
+                        on_cell_done(cell, result)
+    else:
+        for cell in todo:
+            result = _run_cell_job(cell.runner, cell.params)
+            results[cell.key] = result
+            if on_cell_done is not None:
+                on_cell_done(cell, result)
+
+    return {c.key: (cache[c.key] if c.key in cache else results[c.key])
+            for c in cells_list}
+
+
+def parse_workers(value) -> int:
+    """Validate a ``--workers`` argument (0/1 = serial)."""
+    n = int(value)
+    if n < 0:
+        raise ValueError(f"workers must be >= 0, got {n}")
+    return n

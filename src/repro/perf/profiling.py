@@ -1,0 +1,35 @@
+"""cProfile hook for the CLI's ``--profile`` flag."""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+from typing import Iterator, Optional
+
+
+@contextlib.contextmanager
+def maybe_profiled(enabled: bool, sort: str = "tottime", limit: int = 25,
+                   stream=None) -> Iterator[Optional["object"]]:
+    """Profile the enclosed block when ``enabled``; print stats on exit.
+
+    Usage::
+
+        with maybe_profiled(args.profile):
+            run_figure9(...)
+    """
+    if not enabled:
+        yield None
+        return
+    import cProfile
+    import pstats
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=stream or sys.stderr)
+        stats.sort_stats(sort)
+        print(f"--- profile (top {limit} by {sort}) ---",
+              file=stream or sys.stderr)
+        stats.print_stats(limit)

@@ -13,16 +13,48 @@ are the classic case) neither grow the heap nor pin the cancelled
 callbacks' closures.  Ties in time are broken by insertion order, which
 keeps runs deterministic; the snapshot/replay subsystem
 (:mod:`repro.snapshot`) verifies that guarantee by digest comparison.
+
+Performance notes (this is the hottest loop in the repository — every
+simulated run funnels through :meth:`Simulator.step` millions of times):
+
+* The heap stores ``(time, seq, event)`` tuples, not Event objects, so
+  sift comparisons happen on C-level int tuples instead of calling a
+  Python ``__lt__`` half a million times per simulated second.
+* Zero-delay scheduling — an event scheduled *at the current tick* — is
+  the module-graph hand-off pattern, and it never needs the heap at all:
+  such events land on a same-tick FIFO *fast lane* (a deque) and are
+  popped in O(1).  Ordering is unchanged: every event already in the heap
+  for the current tick carries a smaller ``seq`` than any fast-lane entry
+  (it was scheduled earlier), so the loop drains due heap entries first
+  and then the lane in FIFO order — exactly the global ``(time, seq)``
+  order.  The lane is provably empty whenever the clock advances.
+* ``step``/``step_until`` fuse the old ``_pop_cancelled`` helper into the
+  loop body and bind the queue/lane to locals, eliminating per-event
+  attribute churn.
+
+None of this is observable: ``seq``, ``events_processed``, ``now`` and
+``live_events()`` — everything the replay fingerprints and state digests
+read — are byte-identical with the fast lane on or off (the
+``fast_lane`` constructor flag exists so tests can prove that).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 #: Compaction is considered once the queue is at least this large; below
 #: it the lazy-deletion garbage is too small to matter.
 COMPACT_MIN_QUEUE = 64
+
+#: Compact once cancelled events exceed this fraction of the queue.
+COMPACT_RATIO = 0.5
+
+#: Module-wide default for the same-tick fast lane; ``Simulator`` instances
+#: constructed without an explicit ``fast_lane`` argument follow this, so a
+#: test (or an emergency) can A/B the whole system with one assignment.
+FAST_LANE_DEFAULT = True
 
 
 class Event:
@@ -57,6 +89,8 @@ class Event:
             self.sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
+        # The heap itself compares (time, seq, event) tuples and never
+        # reaches the event (keys are unique); kept for user-code sorting.
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -71,16 +105,44 @@ class Simulator:
     A single Simulator instance is shared by every component of a testbed
     (server, clients, links); components keep a reference to it and schedule
     their own events.
+
+    Parameters
+    ----------
+    compact_min_queue:
+        Queue size below which lazy-deletion debt is never compacted.
+    compact_ratio:
+        Cancelled-to-queued fraction above which the heap is rebuilt.
+    fast_lane:
+        Enable the same-tick FIFO bypass (default: the module-level
+        :data:`FAST_LANE_DEFAULT`).  Execution order is identical either
+        way; the flag exists so determinism tests can prove it.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, compact_min_queue: int = COMPACT_MIN_QUEUE,
+                 compact_ratio: float = COMPACT_RATIO,
+                 fast_lane: Optional[bool] = None) -> None:
+        if compact_min_queue < 1:
+            raise ValueError(
+                f"compact_min_queue must be positive: {compact_min_queue}")
+        if not 0.0 < compact_ratio <= 1.0:
+            raise ValueError(
+                f"compact_ratio must be in (0, 1]: {compact_ratio}")
         self.now: int = 0
-        self._queue: List[Event] = []
+        #: Heap of ``(time, seq, event)`` entries (C-level comparisons).
+        self._queue: List[Tuple[int, int, Event]] = []
+        #: Same-tick FIFO: every entry's time == ``now`` while non-empty.
+        self._lane: Deque[Event] = deque()
+        self._fast_lane = (FAST_LANE_DEFAULT if fast_lane is None
+                           else bool(fast_lane))
         self._seq: int = 0
         self._events_processed: int = 0
-        # Cancelled events still sitting in the heap (lazy deletion debt).
+        # Cancelled events still sitting in the heap or lane (lazy debt).
         self._cancelled_pending: int = 0
         self.compactions: int = 0
+        self.compact_min_queue = compact_min_queue
+        self.compact_ratio = compact_ratio
+        #: Events that bypassed the heap via the fast lane (diagnostics).
+        self.fast_lane_events: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -101,7 +163,13 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         self._seq += 1
         ev = Event(time, self._seq, fn, sim=self)
-        heapq.heappush(self._queue, ev)
+        if time == self.now and self._fast_lane:
+            # Same-tick hand-off: FIFO order IS (time, seq) order here,
+            # because every lane entry shares ``time`` and ``seq`` is
+            # monotonic.  No heap traffic.
+            self._lane.append(ev)
+        else:
+            heapq.heappush(self._queue, (time, self._seq, ev))
         return ev
 
     # ------------------------------------------------------------------
@@ -109,8 +177,9 @@ class Simulator:
     # ------------------------------------------------------------------
     def _note_cancel(self) -> None:
         self._cancelled_pending += 1
-        if (self._cancelled_pending * 2 > len(self._queue)
-                and len(self._queue) >= COMPACT_MIN_QUEUE):
+        queued = len(self._queue)
+        if (self._cancelled_pending > queued * self.compact_ratio
+                and queued >= self.compact_min_queue):
             self._compact()
 
     def _compact(self) -> None:
@@ -120,31 +189,50 @@ class Simulator:
         ``(time, seq)`` keys, so replays are bit-identical whether or not
         a compaction happened.
         """
-        self._queue = [ev for ev in self._queue if not ev.cancelled]
+        self._queue = [entry for entry in self._queue
+                       if not entry[2].cancelled]
         heapq.heapify(self._queue)
-        self._cancelled_pending = 0
+        # Cancelled fast-lane entries (rare, and gone by the next clock
+        # advance) are the only remaining debt.
+        self._cancelled_pending = sum(1 for ev in self._lane
+                                      if ev.cancelled)
         self.compactions += 1
-
-    def _pop_cancelled(self) -> None:
-        heapq.heappop(self._queue)
-        if self._cancelled_pending > 0:
-            self._cancelled_pending -= 1
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.  Returns False when queue is empty."""
-        while self._queue:
-            if self._queue[0].cancelled:
-                self._pop_cancelled()
+        queue = self._queue
+        lane = self._lane
+        pop = heapq.heappop
+        while True:
+            if lane and not (queue and queue[0][0] <= self.now):
+                # Every due heap entry was scheduled before any lane entry
+                # (smaller seq), so the lane only pops once the heap holds
+                # nothing for the current tick.
+                ev = lane.popleft()
+                if ev.cancelled:
+                    if self._cancelled_pending > 0:
+                        self._cancelled_pending -= 1
+                    continue
+                self._events_processed += 1
+                self.fast_lane_events += 1
+                ev.fn()
+                return True
+            if not queue:
+                return False
+            time, _seq, ev = queue[0]
+            if ev.cancelled:
+                pop(queue)
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
                 continue
-            ev = heapq.heappop(self._queue)
-            self.now = ev.time
+            pop(queue)
+            self.now = time
             self._events_processed += 1
             ev.fn()
             return True
-        return False
 
     def step_until(self, until: int) -> bool:
         """Run the next event if it is due at or before ``until``.
@@ -157,19 +245,37 @@ class Simulator:
         replay driver uses this decomposition to observe the machine
         between events.
         """
-        while self._queue:
-            ev = self._queue[0]
-            if ev.cancelled:
-                self._pop_cancelled()
-                continue
-            if ev.time > until:
+        queue = self._queue
+        lane = self._lane
+        pop = heapq.heappop
+        while True:
+            if lane and not (queue and queue[0][0] <= self.now):
+                if self.now > until:
+                    return False
+                ev = lane.popleft()
+                if ev.cancelled:
+                    if self._cancelled_pending > 0:
+                        self._cancelled_pending -= 1
+                    continue
+                self._events_processed += 1
+                self.fast_lane_events += 1
+                ev.fn()
+                return True
+            if not queue:
                 return False
-            heapq.heappop(self._queue)
-            self.now = ev.time
+            time, _seq, ev = queue[0]
+            if ev.cancelled:
+                pop(queue)
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
+                continue
+            if time > until:
+                return False
+            pop(queue)
+            self.now = time
             self._events_processed += 1
             ev.fn()
             return True
-        return False
 
     def finish_until(self, until: int) -> None:
         """Advance the clock to exactly ``until`` (if it is not there yet)."""
@@ -207,17 +313,34 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""
-        return len(self._queue)
+        return len(self._queue) + len(self._lane)
 
     def cancelled_pending(self) -> int:
-        """Cancelled events still occupying heap slots."""
+        """Cancelled events still occupying heap or fast-lane slots."""
         return self._cancelled_pending
 
     def live_events(self) -> List[Tuple[int, int]]:
         """Sorted ``(time, seq)`` keys of every live queued event.
 
         This is the heap's *shape* independent of its internal array
-        layout, so digests built from it are stable across compactions.
+        layout (and of which lane an event sits in), so digests built from
+        it are stable across compactions and fast-lane routing.
         """
-        return sorted((ev.time, ev.seq) for ev in self._queue
-                      if not ev.cancelled)
+        keys = [(time, seq) for time, seq, ev in self._queue
+                if not ev.cancelled]
+        keys.extend((ev.time, ev.seq) for ev in self._lane
+                    if not ev.cancelled)
+        keys.sort()
+        return keys
+
+    def queue_health(self) -> dict:
+        """Engine-health counters for perf runs (see :mod:`repro.sim.trace`)."""
+        return {
+            "now": self.now,
+            "events_processed": self._events_processed,
+            "scheduled": self._seq,
+            "pending": self.pending(),
+            "cancelled_pending": self._cancelled_pending,
+            "compactions": self.compactions,
+            "fast_lane_events": self.fast_lane_events,
+        }

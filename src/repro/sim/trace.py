@@ -91,6 +91,20 @@ class Tracer:
         return len(self._events)
 
     # ------------------------------------------------------------------
+    # Engine health
+    # ------------------------------------------------------------------
+    def queue_health(self) -> Dict[str, int]:
+        """The engine's queue-health counters at the current instant.
+
+        Mirrors :meth:`repro.sim.engine.Simulator.queue_health` — events
+        processed, scheduled, still pending, lazy-cancellation debt,
+        compaction count, and fast-lane pops — so perf runs can report
+        event-queue behaviour alongside the trace (see
+        :func:`queue_health_line` for a printable form).
+        """
+        return self.sim.queue_health()
+
+    # ------------------------------------------------------------------
     # Server instrumentation
     # ------------------------------------------------------------------
     def instrument_server(self, server) -> None:
@@ -140,3 +154,12 @@ class Tracer:
             return report
 
         kernel.kill_owner = traced_kill
+
+
+def queue_health_line(sim: Simulator) -> str:
+    """One-line engine-health summary for perf reports and benchmarks."""
+    h = sim.queue_health()
+    return (f"events={h['events_processed']} scheduled={h['scheduled']} "
+            f"pending={h['pending']} cancelled={h['cancelled_pending']} "
+            f"compactions={h['compactions']} "
+            f"fast_lane={h['fast_lane_events']}")

@@ -1,0 +1,72 @@
+"""The benchmark suite: report schema, legacy-engine fidelity, timing.
+
+The wall-clock measurements themselves are marked ``bench`` (deselect with
+``-m 'not bench'``); the schema and fidelity checks run in tier 1.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.bench import (SCHEMA, _LegacySimulator, _drive_event_mix,
+                              format_report, run_bench)
+from repro.sim.engine import Simulator
+
+
+def test_legacy_engine_executes_the_same_mix_as_the_current_engine():
+    """The baseline engine is only an honest baseline if it does the
+    same work — identical event counts on the identical mix."""
+    current = _drive_event_mix(Simulator(), n_rounds=200)
+    legacy = _drive_event_mix(_LegacySimulator(), n_rounds=200)
+    assert current == legacy
+    assert current > 200  # the mix really schedules work per round
+
+
+def test_format_report_handles_sweepless_reports():
+    report = {
+        "schema": SCHEMA,
+        "host": {"cpu_count": 4, "python": "3.12.0"},
+        "event_loop": {"events_per_sec": 1_000_000, "legacy_events_per_sec":
+                       500_000, "speedup_vs_legacy": 2.0},
+        "end_to_end": {"wall_s": 1.5, "events": 100_000,
+                       "events_per_sec": 66_667},
+    }
+    text = format_report(report)
+    assert "event loop" in text
+    assert "2.00x" in text
+    assert "sweep" not in text
+
+
+@pytest.mark.bench
+def test_quick_bench_emits_stable_schema(tmp_path):
+    out = tmp_path / "BENCH_sim.json"
+    report = run_bench(quick=True, output=str(out), skip_sweep=True)
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk == json.loads(json.dumps(report))
+    assert report["schema"] == SCHEMA
+    assert report["quick"] is True
+
+    ev = report["event_loop"]
+    assert set(ev) == {"events", "wall_s", "events_per_sec",
+                       "legacy_wall_s", "legacy_events_per_sec",
+                       "speedup_vs_legacy"}
+    assert ev["events"] > 0 and ev["wall_s"] > 0
+
+    e2e = report["end_to_end"]
+    assert e2e["events"] > 0 and e2e["wall_s"] > 0
+    assert e2e["queue_health"]["events_processed"] == e2e["events"]
+
+    # The human summary renders without a sweep section.
+    assert "end-to-end" in format_report(report)
+
+
+@pytest.mark.bench
+def test_quick_sweep_bench_verifies_cross_worker_identity():
+    from repro.perf.bench import bench_sweep
+    sweep = bench_sweep(worker_counts=(1, 2), quick=True)
+    assert sweep["results_identical_across_worker_counts"] is True
+    assert set(sweep["wall_s"]) == {"1", "2"}
+    assert sweep["cells"] == 4

@@ -1,0 +1,103 @@
+"""The parallel sweep runner: determinism, caching, and merge semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.cells import CELL_RUNNERS, run_cell
+from repro.perf.pool import SweepCell, parse_workers, run_cells
+
+TINY = dict(document="/doc-1", warmup_s=0.05, measure_s=0.1)
+
+
+def _tiny_cells():
+    return [
+        SweepCell(key=f"accounting/{n}", runner="figure8",
+                  params=dict(config="accounting", clients=n, **TINY))
+        for n in (1, 2, 3)
+    ]
+
+
+def test_serial_and_parallel_results_are_byte_identical():
+    cells = _tiny_cells()
+    serial = run_cells(cells, workers=0)
+    parallel = run_cells(cells, workers=2)
+    assert (json.dumps(serial, sort_keys=True)
+            == json.dumps(parallel, sort_keys=True))
+
+
+def test_merge_order_follows_cell_list_not_completion():
+    cells = _tiny_cells()
+    merged = run_cells(cells, workers=2)
+    assert list(merged) == [c.key for c in cells]
+
+
+def test_cache_short_circuits_finished_cells():
+    cells = _tiny_cells()
+    sentinel = {"cps": -1.0}
+    cache = {cells[1].key: sentinel}
+    done = []
+    merged = run_cells(cells, workers=0, cache=cache,
+                       on_cell_done=lambda c, r: done.append(c.key))
+    # The cached cell is returned verbatim and never re-run...
+    assert merged[cells[1].key] is sentinel
+    # ...and on_cell_done fires only for the cells actually computed.
+    assert done == [cells[0].key, cells[2].key]
+
+
+def test_fully_cached_sweep_runs_nothing():
+    cells = _tiny_cells()
+    cache = {c.key: {"cps": float(i)} for i, c in enumerate(cells)}
+    done = []
+    merged = run_cells(cells, workers=4, cache=cache,
+                       on_cell_done=lambda c, r: done.append(c.key))
+    assert done == []
+    assert merged == cache
+
+
+def test_duplicate_keys_are_rejected():
+    cells = [SweepCell(key="same", runner="figure8", params={}),
+             SweepCell(key="same", runner="figure8", params={})]
+    with pytest.raises(ValueError, match="same"):
+        run_cells(cells)
+
+
+def test_unknown_runner_raises():
+    with pytest.raises(KeyError):
+        run_cell("no-such-runner", {})
+
+
+def test_registry_covers_every_experiment_family():
+    for name in ("figure8", "figure9", "figure10", "figure11",
+                 "ablation-domains", "ablation-crossing",
+                 "ablation-early-drop", "chaos"):
+        assert name in CELL_RUNNERS
+
+
+def test_parse_workers():
+    assert parse_workers("0") == 0
+    assert parse_workers("4") == 4
+    with pytest.raises(ValueError):
+        parse_workers("-1")
+
+
+def test_figure9_parallel_sweep_matches_serial_and_resumes(tmp_path):
+    from repro.experiments.figure9 import run_figure9
+
+    kw = dict(client_counts=(2, 3), configs=("accounting",),
+              syn_rate=400, warmup_s=0.05, measure_s=0.1)
+    serial = run_figure9(**kw)
+    parallel = run_figure9(workers=2, **kw)
+    assert serial.series == parallel.series
+    assert serial.syn_stats == parallel.syn_stats
+
+    # Resume: a sweep that already checkpointed every cell re-runs nothing,
+    # even in parallel, and reproduces the same result.
+    ckpt = tmp_path / "fig9"
+    first = run_figure9(checkpoint_dir=str(ckpt), **kw)
+    resumed = run_figure9(checkpoint_dir=str(ckpt), workers=2, **kw)
+    assert first.series == resumed.series
+    assert first.syn_stats == resumed.syn_stats
+    assert serial.series == first.series
