@@ -16,6 +16,10 @@ Subcommands:
   serial) and ``--profile`` (cProfile the run); figure9 additionally has
   a per-cell resume cache (``--checkpoint-dir``) so a crashed sweep
   restarts where it died;
+* ``defense`` — the closed-loop adaptive-defense comparison: legitimate
+  goodput under a ramping SYN flood / runaway CGI with static policies vs
+  the escalating mitigation ladder, plus a record/replay fingerprint
+  self-check (``--replay-check``);
 * ``ablation`` — the domain-grouping / crossing-cost / early-drop sweeps;
 * ``bench`` — the wall-clock benchmark suite; writes ``BENCH_sim.json``;
 * ``record`` / ``replay`` — deterministic-replay tooling: record a run's
@@ -340,6 +344,92 @@ def figure11_main(argv) -> int:
     return 0
 
 
+def defense_main(argv) -> int:
+    """The static-vs-adaptive defense comparison."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro defense",
+        description="Compare legitimate goodput under attack with static "
+                    "policies vs the closed-loop mitigation ladder.")
+    parser.add_argument("--attacks", default="synflood,runaway-cgi",
+                        help="comma-separated attack profiles (of "
+                             "synflood,runaway-cgi,mixed)")
+    parser.add_argument("--seeds", default="1",
+                        help="comma-separated seeds (default 1)")
+    parser.add_argument("--clients", type=int, default=12)
+    parser.add_argument("--document", default="/doc-1k")
+    parser.add_argument("--syn-rate", type=int, default=200,
+                        help="flood rate at the start of the ramp")
+    parser.add_argument("--syn-ramp-to", type=int, default=4000,
+                        help="flood rate at the end of the ramp")
+    parser.add_argument("--syn-ramp-s", type=float, default=1.5)
+    parser.add_argument("--cgi-attackers", type=int, default=8)
+    parser.add_argument("--warmup", type=float, default=0.5)
+    parser.add_argument("--measure", type=float, default=2.0)
+    parser.add_argument("--replay-check", action="store_true",
+                        help="record one adaptive cell, re-execute it, "
+                             "and verify identical digests")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 unless adaptive meets the 80%% "
+                             "recovery target on every attack")
+    _add_perf_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.experiments.defense import run_defense
+    from repro.perf import maybe_profiled
+
+    attacks = [a.strip() for a in args.attacks.split(",") if a.strip()]
+    seeds = [int(s) for s in args.seeds.split(",")]
+
+    if args.replay_check:
+        ok = _defense_replay_check(attacks[0], seeds[0], args)
+        if not ok:
+            return 1
+        print()
+
+    with maybe_profiled(args.profile):
+        result = run_defense(
+            attacks=attacks, seeds=seeds,
+            clients=args.clients, document=args.document,
+            syn_rate=args.syn_rate, syn_ramp_to=args.syn_ramp_to,
+            syn_ramp_s=args.syn_ramp_s,
+            cgi_attackers=args.cgi_attackers,
+            warmup_s=args.warmup, measure_s=args.measure,
+            workers=args.workers)
+    print(result.format())
+    if args.strict:
+        bad = [a for a in attacks if not result.adaptive_meets_target(a)]
+        if bad:
+            print(f"\nFAIL: adaptive below recovery target on: "
+                  f"{', '.join(bad)}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _defense_replay_check(attack: str, seed: int, args) -> bool:
+    """Build one adaptive cell twice and compare full-machine digests."""
+    from repro.defense.run import DefenseRun
+    from repro.snapshot.driver import RunDriver
+
+    digests = []
+    for attempt in (1, 2):
+        run = DefenseRun(attack, adaptive=True, seed=seed,
+                         clients=args.clients, document=args.document,
+                         syn_rate=args.syn_rate,
+                         syn_ramp_to=args.syn_ramp_to,
+                         syn_ramp_s=args.syn_ramp_s,
+                         cgi_attackers=args.cgi_attackers,
+                         warmup_s=args.warmup, measure_s=args.measure)
+        RunDriver(run).run_all()
+        digests.append(run.digest())
+    if digests[0] == digests[1]:
+        print(f"replay check OK: {attack} seed={seed} adaptive cell "
+              f"digests identical ({digests[0][:16]}...)")
+        return True
+    print(f"REPLAY CHECK FAILED: {digests[0][:16]} != {digests[1][:16]}",
+          file=sys.stderr)
+    return False
+
+
 def ablation_main(argv) -> int:
     """The design-choice ablations (domains / crossing cost / early drop)."""
     parser = argparse.ArgumentParser(
@@ -477,6 +567,7 @@ _SUBCOMMANDS = {
     "figure9": figure9_main,
     "figure10": figure10_main,
     "figure11": figure11_main,
+    "defense": defense_main,
     "ablation": ablation_main,
     "bench": bench_main,
     "record": record_main,

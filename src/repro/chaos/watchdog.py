@@ -7,7 +7,9 @@ outsized share of the CPU window, an owner hoarding pages, a thread that
 stays on the processor across scans without finishing, a page pool running
 dry — and responds with an escalating ladder:
 
-1. **pathKill** the offending owner (a path dies; the server lives);
+1. **pathKill** the offending owner (a path dies; the server lives) —
+   unless an adaptive :mod:`repro.defense` controller is attached and
+   absorbs the first offense non-lethally (throttle + ladder escalation);
 2. on repeat offenses from the same family of owners, **escalate** to
    admission-control shedding for an exponentially growing backoff window
    (new work is rejected cheaply while the kernel digests the damage);
@@ -53,7 +55,7 @@ class WatchdogAction:
     """One entry in the watchdog's action log."""
 
     at_s: float
-    kind: str       # detect | kill | rollback | escalate | recover | shed-on | shed-off | fault
+    kind: str       # detect | kill | rollback | defend | escalate | recover | shed-on | shed-off | fault
     subject: str
     detail: str = ""
 
@@ -127,6 +129,11 @@ class Watchdog:
         self.service_revive = service_revive
         self.snapshotter = snapshotter
         self.rollback_limit = rollback_limit
+        #: Optional adaptive :class:`~repro.defense.DefenseController`: a
+        #: rung between rollback and pathKill.  A first offense the
+        #: controller can absorb (throttle/contain) avoids the kill; the
+        #: kill stays the final rung for repeat offenders.
+        self.defense_controller = None
 
         self.log: List[WatchdogAction] = []
         self.scans = 0
@@ -353,10 +360,11 @@ class Watchdog:
         self._offended_names.add(owner.name)
 
         if isinstance(owner, ProtectionDomain):
-            if not self._try_rollback(owner):
+            if not self._try_rollback(owner) \
+                    and not self._try_defend(owner, offenses):
                 # Tearing down a domain kills its crossing paths too.
                 self.kernel.destroy_domain(owner)
-        else:
+        elif not self._try_defend(owner, offenses):
             self.kernel.kill_owner(owner)
 
         if offenses >= self.escalate_after:
@@ -372,6 +380,29 @@ class Watchdog:
             self.kernel.set_shedding(True)
             self._log("escalate", family,
                       f"offense #{offenses}: shedding for {backoff:.3f}s")
+
+    def attach_defense(self, controller) -> None:
+        """Insert an adaptive defense controller between rollback and
+        kill.  ``controller.absorb(owner)`` returning True means the
+        controller contained the offender non-lethally."""
+        self.defense_controller = controller
+
+    def _try_defend(self, owner: Owner, offenses: int) -> bool:
+        """Offer the offender to the defense controller before killing.
+
+        Only first offenses within a family are absorbable: once a family
+        escalates, the kill rung stays final.  Returns True when the
+        controller contained the owner.
+        """
+        if self.defense_controller is None:
+            return False
+        if offenses >= self.escalate_after:
+            return False
+        if not self.defense_controller.absorb(owner):
+            return False
+        self._log("defend", owner.name,
+                  "absorbed by adaptive defense (throttled)")
+        return True
 
     def _try_rollback(self, pd: ProtectionDomain) -> bool:
         """Roll a misbehaving domain back to its last good snapshot.

@@ -1,0 +1,35 @@
+"""Closed-loop adaptive defense (accounting → detection → containment,
+but *online*).
+
+The static policies in :mod:`repro.policy` are tuned up front: fixed SYN
+caps, fixed runtime limits, fixed quotas.  This package closes the loop —
+an :class:`~repro.defense.signals.AccountingMonitor` samples the counters
+the accounting mechanism already maintains into EWMA baselines, and a
+:class:`~repro.defense.controller.DefenseController` maps the anomaly
+scores through an escalating mitigation ladder with hysteresis and
+cooldowns:
+
+1. adaptive per-source token-bucket rate limiting at demux time;
+2. SYN-cookie stateless fallback once the half-open table passes a
+   watermark;
+3. dynamic quota tightening (non-lethal throttle before kill) via the
+   :class:`~repro.kernel.quota.QuotaEnforcer`;
+4. webserver graceful degradation (shed CGI first, then shrink static
+   responses).
+
+Everything is engine-tick-driven and seeded, so recorded runs replay
+bit-for-bit.
+"""
+
+from repro.defense.controller import DefenseAction, DefenseController
+from repro.defense.ratelimit import TokenBucket
+from repro.defense.run import DefenseRun, DefenseRunResult
+from repro.defense.signals import (
+    AccountingMonitor,
+    DefenseSignals,
+    EwmaBaseline,
+)
+
+__all__ = ["AccountingMonitor", "DefenseAction", "DefenseController",
+           "DefenseRun", "DefenseRunResult", "DefenseSignals",
+           "EwmaBaseline", "TokenBucket"]

@@ -1,0 +1,345 @@
+"""The defense controller: an escalating, de-escalating mitigation ladder.
+
+Each scan (engine-tick periodic, like the watchdog) the controller reads
+one :class:`~repro.defense.signals.DefenseSignals` sample and drives four
+rungs, each with its own trigger, hysteresis watermarks and release
+cooldown:
+
+1. **ratelimit** — per-source token buckets installed on suspect /24
+   prefixes (anomaly score over its own baseline), enforced in TCP demux;
+2. **syncookies** — stateless SYN handling past a half-open watermark;
+3. **quota** — :class:`~repro.kernel.quota.QuotaEnforcer` flips to
+   throttle-first mode and connection quotas/runtime limits tighten;
+4. **degrade** — the webserver sheds CGI, then shrinks static responses.
+
+Escalation is per-rung (a SYN flood never sheds CGI; a runaway CGI never
+arms cookies) and every transition is logged as a :class:`DefenseAction`
+so experiments can show the ladder climbing and climbing back down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.clock import seconds_to_ticks, ticks_to_seconds
+from repro.sim.cpu import Interrupt
+from repro.kernel.quota import ResourceQuota
+from repro.defense.ratelimit import TokenBucket
+from repro.defense.signals import AccountingMonitor, DefenseSignals
+
+RUNGS = ("ratelimit", "syncookies", "quota", "degrade")
+
+
+@dataclass
+class DefenseAction:
+    """One ladder transition (or absorb) in the controller's log."""
+
+    at_s: float
+    kind: str       # escalate | deescalate | absorb
+    rung: str       # one of RUNGS, or "watchdog" for absorbs
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.at_s:.6f}s] {self.kind} {self.rung}: {self.detail}"
+
+
+class DefenseController:
+    """Closed-loop controller over one :class:`ScoutWebServer`."""
+
+    def __init__(self, server,
+                 monitor: Optional[AccountingMonitor] = None,
+                 period_s: float = 0.05,
+                 scan_cost_cycles: int = 1_500,
+                 # rung 1: adaptive rate limiting
+                 score_on: float = 4.0,
+                 prefix_rate_floor: float = 300.0,
+                 allow_rate_floor: int = 50,
+                 limit_release_scans: int = 8,
+                 # rung 2: SYN cookies
+                 halfopen_on: int = 48,
+                 halfopen_off: int = 8,
+                 cookie_release_scans: int = 6,
+                 # rung 3: quota tightening
+                 quota_release_scans: int = 8,
+                 tight_quota: Optional[ResourceQuota] = None,
+                 # rung 4: graceful degradation
+                 pages_on: int = 128,
+                 pages_off: int = 512,
+                 degrade_after_scans: int = 3,
+                 degrade_release_scans: int = 8):
+        self.server = server
+        self.monitor = monitor or AccountingMonitor(server)
+        self.period_s = period_s
+        self.scan_cost_cycles = scan_cost_cycles
+
+        self.score_on = score_on
+        self.prefix_rate_floor = prefix_rate_floor
+        self.allow_rate_floor = allow_rate_floor
+        self.limit_release_scans = limit_release_scans
+        self.halfopen_on = halfopen_on
+        self.halfopen_off = halfopen_off
+        self.cookie_release_scans = cookie_release_scans
+        self.quota_release_scans = quota_release_scans
+        self.tight_quota = tight_quota or ResourceQuota(
+            max_pages=16, max_heap_bytes=16 * 1024, max_events=8)
+        self.pages_on = pages_on
+        self.pages_off = pages_off
+        self.degrade_after_scans = degrade_after_scans
+        self.degrade_release_scans = degrade_release_scans
+
+        self.log: List[DefenseAction] = []
+        self.scans = 0
+        self.absorbed = 0
+        self.rung_active: Dict[str, bool] = {r: False for r in RUNGS}
+        self.last_signals: Optional[DefenseSignals] = None
+
+        #: prefix -> TokenBucket currently limiting it.
+        self.buckets: Dict[str, TokenBucket] = {}
+        self._bucket_quiet: Dict[str, int] = {}
+        self._cookie_quiet = 0
+        self._quota_quiet = 0
+        self._quota_pressure = 0
+        self._degrade_pressure = 0
+        self._degrade_quiet = 0
+        self._saved_quota = None
+        self._saved_runtime_limit = None
+        self._running = False
+
+        server.defense = self
+        server.tcp.syn_gate = self._gate
+
+    # ------------------------------------------------------------------
+    # The demux gate (rung 1 enforcement point)
+    # ------------------------------------------------------------------
+    def _gate(self, prefix: str) -> bool:
+        bucket = self.buckets.get(prefix)
+        if bucket is None:
+            return True
+        return bucket.allow(self.server.kernel.sim.now)
+
+    # ------------------------------------------------------------------
+    # Scan loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.server.kernel.sim.schedule(
+            seconds_to_ticks(self.period_s), self._scan)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _scan(self) -> None:
+        if not self._running:
+            return
+        self.scans += 1
+        sig = self.monitor.sample()
+        self.last_signals = sig
+
+        self._drive_ratelimit(sig)
+        self._drive_syncookies(sig)
+        self._drive_quota(sig)
+        self._drive_degrade(sig)
+
+        kernel = self.server.kernel
+        kernel.cpu.post_interrupt(Interrupt(
+            [(kernel.kernel_owner, self.scan_cost_cycles)],
+            label="defense-scan"))
+        kernel.sim.schedule(seconds_to_ticks(self.period_s), self._scan)
+
+    # -- rung 1: adaptive per-source rate limiting ----------------------
+    def _drive_ratelimit(self, sig: DefenseSignals) -> None:
+        now = sig.at
+        for prefix in sig.hot_prefixes(self.score_on,
+                                       self.prefix_rate_floor):
+            if prefix in self.buckets:
+                continue
+            # By the time a prefix scores hot its own EWMA baseline has
+            # been dragged up by the anomaly, so the baseline cannot size
+            # the limit — clamp a flagged source to the flat floor (a
+            # legitimate steady source never gets flagged at all).
+            allow = self.allow_rate_floor
+            burst = max(8, allow // 4)
+            self.buckets[prefix] = TokenBucket(allow, burst, now=now)
+            self._bucket_quiet[prefix] = 0
+            self._transition("escalate", "ratelimit",
+                             f"{prefix}.0/24 limited to {allow}/s "
+                             f"(offered {sig.syn_rates.get(prefix, 0):.0f}/s,"
+                             f" score {sig.syn_scores.get(prefix, 0):.1f})")
+        # Release buckets whose offered load has stayed under the limit.
+        for prefix in sorted(self.buckets):
+            bucket = self.buckets[prefix]
+            offered = sig.syn_rates.get(prefix, 0.0)
+            if offered <= bucket.rate:
+                self._bucket_quiet[prefix] += 1
+            else:
+                self._bucket_quiet[prefix] = 0
+            if self._bucket_quiet[prefix] >= self.limit_release_scans:
+                del self.buckets[prefix]
+                del self._bucket_quiet[prefix]
+                self._transition("deescalate", "ratelimit",
+                                 f"{prefix}.0/24 released "
+                                 f"(offered {offered:.0f}/s)")
+        self.rung_active["ratelimit"] = bool(self.buckets)
+
+    # -- rung 2: SYN-cookie fallback ------------------------------------
+    def _drive_syncookies(self, sig: DefenseSignals) -> None:
+        tcp = self.server.tcp
+        if not tcp.syncookies:
+            if sig.half_open >= self.halfopen_on:
+                tcp.set_syncookies(True)
+                self._cookie_quiet = 0
+                self.rung_active["syncookies"] = True
+                self._transition("escalate", "syncookies",
+                                 f"half-open {sig.half_open} >= "
+                                 f"{self.halfopen_on}: stateless fallback on")
+            return
+        if sig.half_open <= self.halfopen_off:
+            self._cookie_quiet += 1
+        else:
+            self._cookie_quiet = 0
+        if self._cookie_quiet >= self.cookie_release_scans:
+            tcp.set_syncookies(False)
+            self.rung_active["syncookies"] = False
+            self._transition("deescalate", "syncookies",
+                             f"half-open down to {sig.half_open}: "
+                             "stateful handshakes resume")
+
+    # -- rung 3: quota tightening ---------------------------------------
+    def _drive_quota(self, sig: DefenseSignals) -> None:
+        if sig.trap_delta > 0:
+            self._quota_pressure += 1
+            self._quota_quiet = 0
+        else:
+            self._quota_quiet += 1
+        if not self.rung_active["quota"]:
+            if sig.trap_delta > 0:
+                self._tighten_quota(sig)
+            return
+        # Throttled owners that keep violating fall through to the kill
+        # rung inside the enforcer; sweep so tightened quotas bite paths
+        # that existed before this scan.
+        self.server.kernel.quotas.sweep(
+            [p for p in self.server.tcp.conn_table.values()
+             if not p.destroyed])
+        if self._quota_quiet >= self.quota_release_scans:
+            self._relax_quota()
+
+    def _tighten_quota(self, sig: DefenseSignals) -> None:
+        tcp = self.server.tcp
+        quotas = self.server.kernel.quotas
+        self._saved_quota = tcp.active_path_quota
+        self._saved_runtime_limit = tcp.active_path_runtime_limit
+        quotas.set_mode("throttle")
+        tcp.active_path_quota = self.tight_quota
+        if tcp.active_path_runtime_limit is not None:
+            tcp.active_path_runtime_limit = max(
+                1, tcp.active_path_runtime_limit // 2)
+        self.rung_active["quota"] = True
+        self._quota_quiet = 0
+        self._transition("escalate", "quota",
+                         f"{sig.trap_delta} runaway trap(s) this window: "
+                         "throttle-first enforcement, quotas tightened")
+
+    def _relax_quota(self) -> None:
+        tcp = self.server.tcp
+        quotas = self.server.kernel.quotas
+        quotas.set_mode("kill")
+        tcp.active_path_quota = self._saved_quota
+        tcp.active_path_runtime_limit = self._saved_runtime_limit
+        self.rung_active["quota"] = False
+        self._quota_pressure = 0
+        self._transition("deescalate", "quota",
+                         "no runaway traps for "
+                         f"{self.quota_release_scans} scans: quotas restored")
+
+    # -- rung 4: graceful degradation -----------------------------------
+    def _drive_degrade(self, sig: DefenseSignals) -> None:
+        http = self.server.http
+        level = http.degrade_level
+        pressured = (sig.trap_delta > 0
+                     or sig.free_pages <= self.pages_on
+                     or (level >= 1 and sig.free_pages < self.pages_off
+                         and self._quota_pressure > 0))
+        if pressured:
+            self._degrade_pressure += 1
+            self._degrade_quiet = 0
+        else:
+            self._degrade_pressure = 0
+            self._degrade_quiet += 1
+
+        if self._degrade_pressure >= self.degrade_after_scans and level < 2:
+            # Sustained pressure the earlier rungs did not relieve: shed.
+            http.degrade_level = level + 1
+            self._degrade_pressure = 0
+            self.rung_active["degrade"] = True
+            what = ("shedding CGI" if level == 0
+                    else "shrinking static responses")
+            self._transition("escalate", "degrade",
+                             f"tier {level + 1}: {what} "
+                             f"(traps {sig.trap_delta}, "
+                             f"free pages {sig.free_pages})")
+        elif (self._degrade_quiet >= self.degrade_release_scans
+              and level > 0 and sig.free_pages >= self.pages_off):
+            http.degrade_level = level - 1
+            self._degrade_quiet = 0
+            self.rung_active["degrade"] = http.degrade_level > 0
+            self._transition("deescalate", "degrade",
+                             f"tier {level - 1}: pressure cleared "
+                             f"(free pages {sig.free_pages})")
+
+    # ------------------------------------------------------------------
+    # Watchdog integration: the rung between rollback and pathKill
+    # ------------------------------------------------------------------
+    def absorb(self, owner) -> bool:
+        """Contain a watchdog-flagged offender non-lethally.
+
+        Throttles the owner's scheduler share via the quota enforcer and
+        registers the event as quota pressure so the ladder's quota and
+        degradation rungs see it.  Returns False when the owner was
+        already throttled (repeat offense) — the watchdog then proceeds
+        to the kill rung.
+        """
+        quotas = self.server.kernel.quotas
+        if not quotas.throttle(owner, "watchdog-defense"):
+            return False
+        self.absorbed += 1
+        self._quota_pressure += 1
+        self._quota_quiet = 0
+        self.log.append(DefenseAction(
+            at_s=ticks_to_seconds(self.server.kernel.sim.now),
+            kind="absorb", rung="watchdog",
+            detail=f"{owner.name} throttled instead of killed"))
+        return True
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _transition(self, kind: str, rung: str, detail: str) -> None:
+        self.log.append(DefenseAction(
+            at_s=ticks_to_seconds(self.server.kernel.sim.now),
+            kind=kind, rung=rung, detail=detail))
+
+    def actions(self, kind: Optional[str] = None) -> List[DefenseAction]:
+        if kind is None:
+            return list(self.log)
+        return [a for a in self.log if a.kind == kind]
+
+    def escalations(self) -> List[DefenseAction]:
+        return self.actions("escalate")
+
+    def deescalations(self) -> List[DefenseAction]:
+        return self.actions("deescalate")
+
+    def ladder_trace(self) -> List[str]:
+        return [str(a) for a in self.log]
+
+    def summary(self) -> str:
+        up = sum(1 for a in self.log if a.kind == "escalate")
+        down = sum(1 for a in self.log if a.kind == "deescalate")
+        active = [r for r in RUNGS if self.rung_active[r]]
+        return (f"defense: {self.scans} scans, {up} escalations, "
+                f"{down} de-escalations, {self.absorbed} absorbed, "
+                f"active rungs: {', '.join(active) or 'none'}")

@@ -1,0 +1,45 @@
+"""Token buckets for demux-time rate limiting.
+
+Pure integer arithmetic in a fixed-point representation (token fractions
+of ``TICKS_PER_SECOND``), so refill is exact and a recorded run replays
+bit-for-bit regardless of the platform's float rounding.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import TICKS_PER_SECOND
+
+#: One whole token in the fixed-point representation.
+_ONE = TICKS_PER_SECOND
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` deep."""
+
+    __slots__ = ("rate", "burst", "_tokens_fp", "_last")
+
+    def __init__(self, rate_per_second: int, burst: int, now: int = 0):
+        if rate_per_second <= 0:
+            raise ValueError("rate must be positive")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = rate_per_second
+        self.burst = burst
+        self._tokens_fp = burst * _ONE
+        self._last = now
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens_fp / _ONE
+
+    def allow(self, now: int) -> bool:
+        """Spend one token if available; refills lazily from ``now``."""
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens_fp = min(self.burst * _ONE,
+                                  self._tokens_fp + elapsed * self.rate)
+            self._last = now
+        if self._tokens_fp >= _ONE:
+            self._tokens_fp -= _ONE
+            return True
+        return False

@@ -247,12 +247,23 @@ class Testbed:
             added.append(attacker)
         return added
 
-    def add_syn_attacker(self, rate_per_second: int = 1000) -> SynAttacker:
-        """Attach the SYN flood source on the hub (untrusted subnet)."""
+    def add_syn_attacker(self, rate_per_second: int = 1000,
+                         spoof_subnet: Optional[Subnet] = None,
+                         ramp_to: Optional[int] = None,
+                         ramp_seconds: float = 0.0,
+                         spoof_hosts: int = 4094) -> SynAttacker:
+        """Attach the SYN flood source on the hub.
+
+        Defaults to the classic untrusted-subnet flood; the defense
+        scenarios spoof inside the trusted subnet (where no static cap
+        applies) and ramp the rate.
+        """
         attacker = SynAttacker(self.sim, SERVER_IP, self.server.nic.mac,
-                               spoof_subnet=UNTRUSTED_SUBNET,
+                               spoof_subnet=spoof_subnet or UNTRUSTED_SUBNET,
                                rate_per_second=rate_per_second,
-                               costs=self.costs)
+                               costs=self.costs,
+                               ramp_to=ramp_to, ramp_seconds=ramp_seconds,
+                               spoof_hosts=spoof_hosts)
         attacker.attach(self.hub)
         self.syn_attacker = attacker
         return attacker

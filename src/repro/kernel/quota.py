@@ -25,6 +25,13 @@ from repro.kernel.owner import Owner
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
 
+#: Cycles' worth of stride-pass penalty applied by a throttle: the owner
+#: behaves as if it had already burned this much CPU, so the proportional
+#: scheduler naturally runs everyone else first for a while.
+THROTTLE_PENALTY_CYCLES = 100_000
+#: Divisor applied to a throttled owner's ticket allocation.
+THROTTLE_TICKET_DIVISOR = 4
+
 
 @dataclass
 class ResourceQuota:
@@ -60,12 +67,46 @@ class QuotaEnforcer:
     def __init__(self, kernel: "Kernel"):
         self.kernel = kernel
         self.violations: List[tuple] = []  # (owner_name, reason)
-        #: What to do with a violator; default is the containment step.
-        self.on_violation: Callable[[Owner, str], None] = self._kill
+        self.throttles: List[tuple] = []   # (owner_name, reason)
+        #: "kill" destroys violators outright; "throttle" first demotes
+        #: their scheduler share and only kills repeat violators — the
+        #: non-lethal rung the adaptive defense controller escalates
+        #: through before containment.
+        self.mode: str = "kill"
+        #: What to do with a violator; default is mode-directed
+        #: enforcement (throttle-then-kill or straight kill).
+        self.on_violation: Callable[[Owner, str], None] = self._enforce
+
+    def set_mode(self, mode: str) -> None:
+        if mode not in ("kill", "throttle"):
+            raise ValueError(f"unknown quota mode {mode!r}")
+        self.mode = mode
+
+    def _enforce(self, owner: Owner, reason: str) -> None:
+        if self.mode == "throttle" and self.throttle(owner, reason):
+            return
+        self._kill(owner, reason)
 
     def _kill(self, owner: Owner, reason: str) -> None:
         if not owner.destroyed:
             self.kernel.kill_owner(owner)
+
+    def throttle(self, owner: Owner, reason: str) -> bool:
+        """Demote ``owner``'s scheduler share instead of killing it.
+
+        Returns False when the owner is already gone or was throttled
+        before (a second violation while throttled means the demotion did
+        not contain it — the caller falls through to the kill rung).
+        """
+        if owner.destroyed or owner.policy_state.get("throttled"):
+            return False
+        from repro.kernel.sched.proportional import STRIDE1
+        owner.policy_state["throttled"] = True
+        sched = owner.sched
+        sched.tickets = max(1, sched.tickets // THROTTLE_TICKET_DIVISOR)
+        sched.stride_pass += THROTTLE_PENALTY_CYCLES * STRIDE1
+        self.throttles.append((owner.name, reason))
+        return True
 
     def set_quota(self, owner: Owner, quota: ResourceQuota) -> None:
         owner.policy_state["quota"] = quota

@@ -31,6 +31,10 @@ RESPONSE_HEADER_BYTES = 180
 ERROR_BODY_BYTES = 90
 CGI_SPAWN_COST = 4_000
 
+#: Graceful degradation (defense ladder rung 4): at tier >= 2 static
+#: bodies are shrunk to this percentage of their full size.
+DEGRADE_BODY_PERCENT = 25
+
 #: QoS stream pacing: 10 KB every 10 ms = 1 MBps (paper section 4.4.2).
 STREAM_CHUNK_BYTES = 10_000
 STREAM_INTERVAL_TICKS = millis_to_ticks(10)
@@ -93,6 +97,12 @@ class HttpModule(Module):
         self.cgi_spawned = 0
         self.streams_started = 0
         self.bytes_served = 0
+        #: Graceful-degradation tier, set by the defense controller:
+        #: 0 = full service; 1 = shed CGI (cheap 503, no handler thread);
+        #: 2 = also shrink static responses to DEGRADE_BODY_PERCENT.
+        self.degrade_level = 0
+        self.cgi_shed = 0
+        self.responses_degraded = 0
 
     # ------------------------------------------------------------------
     # Boot: create the passive paths
@@ -156,6 +166,17 @@ class HttpModule(Module):
             return
         size, _message = result
         self.requests_served += 1
+        if self.degrade_level >= 2:
+            # Tier 2: serve a shrunk body — the client still gets a
+            # useful answer, the machine sheds most of the copy/transmit
+            # cost.  Tagged "206" so clients can count degraded replies.
+            size = max(1, size * DEGRADE_BODY_PERCENT // 100)
+            self.responses_degraded += 1
+            self.bytes_served += size
+            yield from stage.send_backward(AppSend(
+                RESPONSE_HEADER_BYTES + size, fin=True,
+                app_data=("206", uri)))
+            return
         self.bytes_served += size
         yield from stage.send_backward(AppSend(
             RESPONSE_HEADER_BYTES + size, fin=True, app_data=("200", uri)))
@@ -165,6 +186,17 @@ class HttpModule(Module):
     # ------------------------------------------------------------------
     def _run_cgi(self, stage: Stage, script: str) -> Generator:
         factory = self.cgi_scripts.get(script)
+        if self.degrade_level >= 1:
+            # Tier 1: shed dynamic work before touching static service.
+            # A cheap 503 instead of a handler thread — the expensive
+            # part (spawn + script cycles) never happens.
+            self.cgi_shed += 1
+            stage.state["responded"] = True
+            yield Cycles(self.costs.http_build_response + self.acct(1))
+            yield from stage.send_backward(AppSend(
+                RESPONSE_HEADER_BYTES + ERROR_BODY_BYTES, fin=True,
+                app_data=("503", script)))
+            return
         yield Cycles(CGI_SPAWN_COST + self.acct(2))
         stage.state["responded"] = True
         if factory is None:

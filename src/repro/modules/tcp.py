@@ -21,6 +21,7 @@ and charged to the path, with a registered destructor that frees it on
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.sim.cpu import Cycles, YieldCPU
@@ -33,6 +34,7 @@ from repro.net.addressing import Subnet
 from repro.net.packet import (
     FLAG_ACK,
     FLAG_FIN,
+    FLAG_RST,
     FLAG_SYN,
     IPDatagram,
     TCPSegment,
@@ -144,6 +146,25 @@ class TcpModule(Module):
         self.connections_closed = 0
         self.connections_aborted = 0
         self.demux_drops: Dict[str, int] = {}
+        #: Per-/24-prefix SYN arrival counts (offered load, counted before
+        #: any gate/cap decision) — the defense monitor's per-source signal.
+        self.syn_arrivals: Dict[str, int] = {}
+        #: Hook: optional admission gate consulted for each SYN during
+        #: demux; ``gate(prefix) -> bool``, False drops as "rate-limit".
+        #: Installed by the adaptive defense controller's first rung.
+        self.syn_gate = None
+        #: SYN-cookie stateless fallback (the defense ladder's second
+        #: rung): while True, SYNs are answered with a cookie SYN-ACK and
+        #: *no* connection state is allocated; the final ACK of the
+        #: handshake reconstructs the engine from the cookie.
+        self.syncookies = False
+        self.syncookie_secret = 0x5EC0
+        self.syncookies_sent = 0
+        self.syncookies_accepted = 0
+        #: Once cookies have ever been armed, cookie ACKs stay acceptable
+        #: (validation only passes for genuine cookie holders), so clients
+        #: mid-handshake are not orphaned by a de-escalation.
+        self._cookie_armed = False
         self._conn_seq = 0
         #: (created_tick, closed_tick) per gracefully-closed connection —
         #: the paper's Table 1 measurement window (SYN accept to final
@@ -187,7 +208,11 @@ class TcpModule(Module):
         stage.state["peer_ip"] = attrs.require("peer_ip")
         stage.state["peer_port"] = attrs.require("peer_port")
         stage.state["port"] = attrs.require("local_port")
-        stage.state["syn"] = attrs.require("syn")
+        stage.state["syn"] = attrs.get("syn")
+        stage.state["cookie"] = attrs.get("cookie")
+        stage.state["cookie_seg"] = attrs.get("cookie_seg")
+        if stage.state["syn"] is None and stage.state["cookie"] is None:
+            raise ValueError("active TCP path needs a SYN or a cookie ACK")
         stage.state["parent"] = attrs.get("parent")
         stage.state["counted"] = False
         stage.state["timers"] = {}
@@ -217,12 +242,26 @@ class TcpModule(Module):
                 path.on_destroy(lambda p, l=listener: l.unregister(p))
             return
         # Active path: build the engine in SYN_RCVD and bind the demux key.
+        # A cookie path skips SYN_RCVD entirely — the engine is rebuilt
+        # ESTABLISHED from the handshake-completing ACK (paper-style
+        # stateless fallback; no half-open state ever existed for it).
         syn = stage.state["syn"]
-        engine, actions = TCPEngine.passive_open(
-            self.local_ip, stage.state["port"], syn, stage.state["peer_ip"],
-            delayed_ack_ticks=self.server_delack_ticks or 0)
-        stage.state["engine"] = engine
-        stage.state["pending"] = actions
+        if syn is None:
+            engine = TCPEngine.from_syncookie(
+                self.local_ip, stage.state["port"], stage.state["cookie_seg"],
+                stage.state["peer_ip"], stage.state["cookie"],
+                delayed_ack_ticks=self.server_delack_ticks or 0)
+            stage.state["engine"] = engine
+            stage.state["pending"] = None
+            stage.state["established_seen"] = True
+            self.connections_established += 1
+        else:
+            engine, actions = TCPEngine.passive_open(
+                self.local_ip, stage.state["port"], syn,
+                stage.state["peer_ip"],
+                delayed_ack_ticks=self.server_delack_ticks or 0)
+            stage.state["engine"] = engine
+            stage.state["pending"] = actions
         stage.state["created_at"] = stage.path.attributes.get(
             "accepted_at", self.kernel.sim.now)
         self.connections_accepted += 1
@@ -280,12 +319,22 @@ class TcpModule(Module):
         if path is not None and not path.destroyed:
             return DemuxResult.to_path(path)
         if seg.flags & FLAG_SYN and not seg.flags & FLAG_ACK:
+            prefix = self.src_prefix(dgram.src_ip)
+            self.syn_arrivals[prefix] = self.syn_arrivals.get(prefix, 0) + 1
+            if self.syn_gate is not None and not self.syn_gate(prefix):
+                # Adaptive defense rung 1: per-source token-bucket limit,
+                # enforced as early as the static SYN cap.
+                return self._drop("rate-limit")
             listener = self.listeners.get(seg.dst_port)
             if listener is None:
                 return self._drop("no-listener")
             passive = listener.select(dgram.src_ip)
             if passive is None:
                 return self._drop("no-subnet")
+            if self.syncookies:
+                # Stateless fallback: the cap is moot, nothing will be
+                # allocated for this SYN.
+                return DemuxResult.to_path(passive)
             cap = passive.policy_state.get("syn_cap")
             if cap is not None \
                     and passive.policy_state.get("syn_recvd", 0) >= cap:
@@ -293,11 +342,63 @@ class TcpModule(Module):
                 # during demultiplexing.
                 return self._drop("syn-cap")
             return DemuxResult.to_path(passive)
+        if (self._cookie_armed and seg.flags & FLAG_ACK
+                and not seg.flags & (FLAG_SYN | FLAG_FIN | FLAG_RST)
+                and seg.ack - 1 == self.syn_cookie(dgram.src_ip,
+                                                   seg.src_port,
+                                                   seg.dst_port)):
+            # Handshake-completing ACK for a cookie SYN-ACK we sent
+            # statelessly: route to the passive path, which reconstructs
+            # the connection.
+            listener = self.listeners.get(seg.dst_port)
+            passive = listener.select(dgram.src_ip) if listener else None
+            if passive is not None:
+                return DemuxResult.to_path(passive)
         return self._drop("no-connection")
 
     def _drop(self, reason: str) -> DemuxResult:
         self.demux_drops[reason] = self.demux_drops.get(reason, 0) + 1
         return DemuxResult.drop(reason)
+
+    # ------------------------------------------------------------------
+    # SYN-cookie fallback and half-open accounting
+    # ------------------------------------------------------------------
+    @staticmethod
+    def src_prefix(ip: str) -> str:
+        """The /24 prefix used as the per-source accounting key."""
+        return ip.rsplit(".", 1)[0]
+
+    def syn_cookie(self, src_ip: str, src_port: int, dst_port: int) -> int:
+        """Deterministic cookie for one (source, port pair).
+
+        Used as the SYN-ACK's initial sequence number; the handshake ACK
+        must carry ``cookie + 1``.  Forced odd and nonzero so it can never
+        collide with the engine's real ISS of 0 (a stale ACK for a normal
+        handshake acks 1, which would need cookie 0).
+        """
+        h = zlib.crc32(f"{src_ip}:{src_port}:{dst_port}:"
+                       f"{self.syncookie_secret}".encode())
+        return (h & 0x3FFFFFFF) | 1
+
+    def set_syncookies(self, enabled: bool) -> None:
+        self.syncookies = bool(enabled)
+        if enabled:
+            self._cookie_armed = True
+
+    def half_open(self) -> int:
+        """Connections currently in SYN_RCVD across all passive paths."""
+        total = 0
+        seen = set()
+        for listener in self.listeners.values():
+            paths = [p for _, p in listener.passive_paths]
+            if listener.penalty_path is not None:
+                paths.append(listener.penalty_path)
+            for p in paths:
+                if id(p) in seen or p.destroyed:
+                    continue
+                seen.add(id(p))
+                total += p.policy_state.get("syn_recvd", 0)
+        return total
 
     # ------------------------------------------------------------------
     # Path processing: inbound
@@ -315,6 +416,11 @@ class TcpModule(Module):
         accepted_at = self.kernel.sim.now  # Table 1's window opens here
         yield Cycles(self.costs.tcp_handshake_step + self.acct(2))
         if not (seg.flags & FLAG_SYN) or seg.flags & FLAG_ACK:
+            if (seg.flags & FLAG_ACK
+                    and not seg.flags & (FLAG_SYN | FLAG_FIN | FLAG_RST)):
+                result = yield from self._cookie_accept(stage, dgram,
+                                                        accepted_at)
+                return result
             return False
         key = (seg.dst_port, dgram.src_ip, seg.src_port)
         if key in self.conn_table:
@@ -323,6 +429,20 @@ class TcpModule(Module):
             if not path.destroyed:
                 path.enqueue(PathWork(path.stage_of(self.name), FORWARD,
                                       dgram))
+            return True
+        if self.syncookies:
+            # Stateless fallback: answer with a cookie SYN-ACK and
+            # allocate nothing — no path, no TCB, no half-open slot.  A
+            # spoofed SYN therefore costs us only this reply; a genuine
+            # client completes the handshake and the connection is
+            # reconstructed from its ACK in :meth:`_cookie_accept`.
+            cookie = self.syn_cookie(dgram.src_ip, seg.src_port,
+                                     seg.dst_port)
+            synack = TCPSegment(seg.dst_port, seg.src_port, seq=cookie,
+                                ack=seg.seq + 1, flags=FLAG_SYN | FLAG_ACK)
+            self.syncookies_sent += 1
+            yield Cycles(PURE_ACK_COST + self.acct(1))
+            yield from stage.send_backward((dgram.src_ip, synack))
             return True
         cap = stage.path.policy_state.get("syn_cap")
         if cap is not None \
@@ -349,6 +469,46 @@ class TcpModule(Module):
         tcp_stage = path.stage_of(self.name)
         path.enqueue(PathWork(tcp_stage, BACKWARD,
                               TcpFlush(tcp_stage.state.pop("pending"))))
+        return True
+
+    def _cookie_accept(self, stage: Stage, dgram: IPDatagram,
+                       accepted_at: int) -> Generator:
+        """A handshake-completing ACK for a stateless cookie SYN-ACK:
+        validate the cookie and only now create the connection path."""
+        seg: TCPSegment = dgram.payload
+        cookie = self.syn_cookie(dgram.src_ip, seg.src_port, seg.dst_port)
+        if not self._cookie_armed or seg.ack - 1 != cookie:
+            return False
+        key = (seg.dst_port, dgram.src_ip, seg.src_port)
+        if key in self.conn_table:
+            # Duplicate ACK racing the reconstructed path: re-deliver.
+            path = self.conn_table[key]
+            if not path.destroyed:
+                path.enqueue(PathWork(path.stage_of(self.name), FORWARD,
+                                      dgram))
+            return True
+        self._conn_seq += 1
+        attrs = Attributes(listen=False,
+                           peer_ip=dgram.src_ip,
+                           peer_port=seg.src_port,
+                           local_port=seg.dst_port,
+                           cookie=cookie,
+                           cookie_seg=seg,
+                           accepted_at=accepted_at,
+                           document_root=stage.path.attributes.get(
+                               "document_root"))
+        try:
+            path = yield from self.path_manager.path_create(
+                attrs, start_module=self.name,
+                name=f"conn-{self._conn_seq}")
+        except PathCreateError:
+            return False
+        self.syncookies_accepted += 1
+        if seg.payload_len:
+            # A request piggybacked on the ACK: process it on the new
+            # path's own thread so its cycles are charged there.
+            tcp_stage = path.stage_of(self.name)
+            path.enqueue(PathWork(tcp_stage, FORWARD, dgram))
         return True
 
     def _active_forward(self, stage: Stage, dgram: IPDatagram) -> Generator:

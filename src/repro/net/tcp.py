@@ -69,6 +69,10 @@ class TCPActions:
     fin_received: bool = False
     closed: bool = False
     aborted: bool = False
+    #: The peer actively refused the connection (RST before establishment)
+    #: — distinct from an abort after the retry budget, so workloads can
+    #: report refused vs timed-out connections separately.
+    refused: bool = False
     set_rto: Optional[int] = None
     cancel_rto: bool = False
     set_delack: Optional[int] = None
@@ -81,6 +85,7 @@ class TCPActions:
         self.fin_received = self.fin_received or other.fin_received
         self.closed = self.closed or other.closed
         self.aborted = self.aborted or other.aborted
+        self.refused = self.refused or other.refused
         if other.set_rto is not None:
             self.set_rto = other.set_rto
             self.cancel_rto = False
@@ -202,6 +207,27 @@ class TCPEngine:
         actions.set_rto = eng._arm_rto()
         return eng, actions
 
+    @classmethod
+    def from_syncookie(cls, local_ip: str, local_port: int,
+                       ack_seg: TCPSegment, remote_ip: str,
+                       cookie: int, **kwargs) -> "TCPEngine":
+        """Server side, stateless-fallback path: rebuild an ESTABLISHED
+        engine from the final ACK of a cookie handshake.
+
+        No state was allocated when the SYN arrived; the cookie we issued
+        as our ISS comes back (plus one) in the ACK.  All sequence
+        arithmetic is absolute, so the engine simply starts with
+        ``snd_una == snd_nxt == cookie + 1`` and ``rcv_nxt`` at the ACK's
+        sequence number — from here the connection is indistinguishable
+        from one that went through ``passive_open``.
+        """
+        eng = cls(local_ip, local_port, remote_ip, ack_seg.src_port,
+                  **kwargs)
+        eng.state = TcpState.ESTABLISHED
+        eng.snd_una = eng.snd_nxt = cookie + 1
+        eng.rcv_nxt = ack_seg.seq
+        return eng
+
     # ------------------------------------------------------------------
     # Application interface
     # ------------------------------------------------------------------
@@ -257,6 +283,8 @@ class TCPEngine:
             return actions
 
         if seg.flags & FLAG_RST:
+            if self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD):
+                actions.refused = True
             self._enter_closed()
             actions.closed = True
             actions.aborted = True

@@ -192,6 +192,30 @@ def ablation_early_drop_cell(early: bool, clients: int, syn_rate: int,
 
 
 # ----------------------------------------------------------------------
+# Defense cell (static-vs-adaptive matrix)
+# ----------------------------------------------------------------------
+@cell_runner("defense")
+def defense_cell(attack: str, adaptive: bool, seed: int,
+                 clients: int, document: str,
+                 syn_rate: int, syn_ramp_to: int, syn_ramp_s: float,
+                 spoof_hosts: int, cgi_attackers: int,
+                 warmup_s: float, measure_s: float) -> Dict[str, Any]:
+    """One defense cell: an attack profile with or without the closed loop."""
+    from dataclasses import asdict
+
+    from repro.defense.run import DefenseRun
+    from repro.snapshot.driver import RunDriver
+
+    run = DefenseRun(attack, adaptive=adaptive, seed=seed,
+                     clients=clients, document=document,
+                     syn_rate=syn_rate, syn_ramp_to=syn_ramp_to,
+                     syn_ramp_s=syn_ramp_s, spoof_hosts=spoof_hosts,
+                     cgi_attackers=cgi_attackers,
+                     warmup_s=warmup_s, measure_s=measure_s)
+    return asdict(RunDriver(run).run_all())
+
+
+# ----------------------------------------------------------------------
 # Chaos matrix cell
 # ----------------------------------------------------------------------
 @cell_runner("chaos")

@@ -146,6 +146,9 @@ class ScoutWebServer:
         self.http.path_manager = self.path_manager
         self.eth.bind(self.nic, self.demultiplexer)
 
+        #: Attached by AdaptivePolicy: the closed-loop defense controller.
+        self.defense = None
+
         self.booted = False
 
     # ------------------------------------------------------------------
@@ -175,6 +178,18 @@ class ScoutWebServer:
 
     def active_paths(self) -> List:
         return [p for p in self.tcp.conn_table.values() if not p.destroyed]
+
+    def half_open(self) -> int:
+        """Connections in SYN_RCVD across the listeners (defense signal)."""
+        return self.tcp.half_open()
+
+    @property
+    def degrade_level(self) -> int:
+        return self.http.degrade_level
+
+    def set_degrade_level(self, level: int) -> None:
+        """Graceful-degradation actuator (defense ladder rung 4)."""
+        self.http.degrade_level = level
 
     def describe(self) -> str:
         cfg = self.kernel.config

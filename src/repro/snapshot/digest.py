@@ -89,8 +89,22 @@ def machine_summary(bed) -> Dict:
         out["tcp"] = _tcp_summary(server)
     if bed.syn_attacker is not None:
         out["syn_attacker"] = {"sent": bed.syn_attacker.sent}
+    defense = getattr(server, "defense", None)
+    if defense is not None:
+        out["defense"] = _defense_summary(defense)
     out["clients"] = len(getattr(bed, "clients", ()))
     return out
+
+
+def _defense_summary(defense) -> Dict:
+    return {
+        "scans": defense.scans,
+        "absorbed": defense.absorbed,
+        "transitions": [[a.at_s, a.kind, a.rung] for a in defense.log],
+        "rungs": {r: bool(v) for r, v in sorted(defense.rung_active.items())},
+        "buckets": sorted(defense.buckets),
+        "degrade_level": defense.server.http.degrade_level,
+    }
 
 
 def _sim_summary(sim) -> Dict:
@@ -105,7 +119,7 @@ def _sim_summary(sim) -> Dict:
 def _stats_summary(stats) -> Dict:
     if stats is None:
         return {}
-    return {
+    out = {
         "completions": {cls: len(ticks)
                         for cls, ticks in sorted(stats._completions.items())},
         "last_completion": {cls: (ticks[-1] if ticks else 0)
@@ -113,6 +127,12 @@ def _stats_summary(stats) -> Dict:
                             sorted(stats._completions.items())},
         "failures": dict(sorted(stats.failures.items())),
     }
+    outcomes = getattr(stats, "_outcomes", None)
+    if outcomes:
+        out["outcomes"] = {f"{cls}/{kind}": len(ticks)
+                           for (cls, kind), ticks in
+                           sorted(outcomes.items())}
+    return out
 
 
 def _kernel_summary(kernel) -> Dict:
@@ -214,6 +234,12 @@ def _tcp_summary(server) -> Dict:
             out["listeners"] = sorted(str(k) for k in listeners)
         except TypeError:  # pragma: no cover - defensive
             out["listeners"] = len(listeners)
+    if getattr(tcp, "syncookies_sent", 0) or getattr(tcp, "syn_arrivals",
+                                                     None):
+        out["syncookies"] = {"sent": tcp.syncookies_sent,
+                             "accepted": tcp.syncookies_accepted,
+                             "on": tcp.syncookies}
+        out["syn_arrivals"] = dict(sorted(tcp.syn_arrivals.items()))
     return out
 
 

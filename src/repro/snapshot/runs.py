@@ -220,4 +220,7 @@ def run_from_spec(spec: Dict) -> ReplayableRun:
     if kind == "chaos":
         from repro.chaos.scenarios import ChaosRun
         return ChaosRun.from_spec(spec)
+    if kind == "defense":
+        from repro.defense.run import DefenseRun
+        return DefenseRun.from_spec(spec)
     raise ValueError(f"unknown run spec kind: {kind!r}")

@@ -47,6 +47,8 @@ class ClientConnection:
         self._rto_ev = None
         self._delack_ev = None
         self._done = False
+        #: Set when the peer actively refused (RST before establishment).
+        self.refused = False
         self.engine, actions = TCPEngine.active_open(
             host.ip, local_port, remote_ip, remote_port,
             delayed_ack_ticks=delayed_ack_ticks)
@@ -64,6 +66,8 @@ class ClientConnection:
             self.on_established()
         if actions.fin_received and self.on_fin is not None:
             self.on_fin()
+        if actions.refused:
+            self.refused = True
         if actions.cancel_rto and self._rto_ev is not None:
             self._rto_ev.cancel()
             self._rto_ev = None
@@ -198,6 +202,8 @@ class HttpClient(ClientHost):
         self.requests_started = 0
         self.requests_completed = 0
         self.requests_failed = 0
+        self.requests_refused = 0
+        self.requests_degraded = 0
         self.bytes_received = 0
         #: Response size of each completed request (header + body).
         self.response_sizes: list = []
@@ -224,26 +230,44 @@ class HttpClient(ClientHost):
         from repro.modules.http import HTTPRequest  # avoid import cycle
         conn = self.connect(self.server_ip, 80,
                             delayed_ack_ticks=self.costs.client_delayed_ack_ticks)
-        got = {"bytes": 0}
+        got = {"bytes": 0, "tag": None}
 
         conn.on_established = lambda: conn.send(
             self.REQUEST_BYTES, app_data=HTTPRequest("GET", self.document))
 
-        def deliver(nbytes: int, _data) -> None:
+        def deliver(nbytes: int, data) -> None:
             got["bytes"] += nbytes
             self.bytes_received += nbytes
+            if got["tag"] is None and isinstance(data, tuple) and data:
+                got["tag"] = data[0]  # response status ("200", "206", ...)
 
         conn.on_deliver = deliver
         conn.on_fin = conn.close
 
         def closed(aborted: bool) -> None:
             if aborted or got["bytes"] == 0:
+                # Distinguish an active refusal (RST to our SYN) from a
+                # silent abort after the retry budget — the latter is the
+                # signature of a defense dropping a legitimate client.
                 self.requests_failed += 1
                 self.stats.fail(self.stats_class)
+                if conn.refused:
+                    self.requests_refused += 1
+                    self.stats.outcome(self.stats_class, "refused",
+                                       self.sim.now)
+                else:
+                    self.stats.outcome(self.stats_class, "aborted",
+                                       self.sim.now)
             else:
                 self.requests_completed += 1
                 self.response_sizes.append(got["bytes"])
                 self.stats.complete(self.stats_class, self.sim.now)
+                if got["tag"] in ("206", "503"):
+                    # Served, but under graceful degradation (shrunk body
+                    # or shed CGI).
+                    self.requests_degraded += 1
+                    self.stats.outcome(self.stats_class, "degraded",
+                                       self.sim.now)
             if self._running:
                 self.sim.schedule(
                     self.jittered(self.costs.client_request_overhead_ticks),

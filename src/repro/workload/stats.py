@@ -16,12 +16,23 @@ from repro.sim.clock import TICKS_PER_SECOND
 class WorkloadStats:
     """Timestamped event log per workload class."""
 
+    #: Distinct connection outcomes beyond plain completion.  ``aborted``
+    #: = the client's TCP gave up (retry budget) or was reset mid-stream;
+    #: ``refused`` = actively refused before establishment (RST to a
+    #: SYN); ``degraded`` = completed, but with a shed/shrunk response
+    #: (the server's graceful-degradation tiers).  Defense experiments
+    #: need these separated: an "aborted" legitimate client under an
+    #: active defense is a false-positive drop.
+    OUTCOMES = ("aborted", "refused", "degraded")
+
     def __init__(self) -> None:
         #: class -> sorted list of completion ticks.
         self._completions: Dict[str, List[int]] = {}
         #: class -> list of (tick, nbytes) for byte streams.
         self._bytes: Dict[str, List[Tuple[int, int]]] = {}
         self.failures: Dict[str, int] = {}
+        #: (class, outcome) -> sorted list of event ticks.
+        self._outcomes: Dict[Tuple[str, str], List[int]] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -34,6 +45,12 @@ class WorkloadStats:
 
     def fail(self, cls: str) -> None:
         self.failures[cls] = self.failures.get(cls, 0) + 1
+
+    def outcome(self, cls: str, kind: str, tick: int) -> None:
+        """Record a timestamped outcome (see :data:`OUTCOMES`)."""
+        if kind not in self.OUTCOMES:
+            raise ValueError(f"unknown outcome {kind!r}")
+        self._outcomes.setdefault((cls, kind), []).append(tick)
 
     # ------------------------------------------------------------------
     # Queries
@@ -68,6 +85,18 @@ class WorkloadStats:
             out.append(self.bandwidth_bps(cls, t, t + window_ticks))
             t += window_ticks
         return out
+
+    def outcomes_in(self, cls: str, kind: str, start: int, end: int) -> int:
+        ticks = self._outcomes.get((cls, kind), [])
+        return bisect_right(ticks, end) - bisect_left(ticks, start)
+
+    def outcome_total(self, cls: str, kind: str) -> int:
+        return len(self._outcomes.get((cls, kind), []))
+
+    def outcome_summary(self, cls: str) -> Dict[str, int]:
+        """Total count per outcome kind for one class (stable keys)."""
+        return {kind: self.outcome_total(cls, kind)
+                for kind in self.OUTCOMES}
 
     def total(self, cls: str) -> int:
         return len(self._completions.get(cls, []))

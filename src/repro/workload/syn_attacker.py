@@ -33,7 +33,10 @@ class SynAttacker:
     def __init__(self, sim: Simulator, server_ip: str, server_mac: MacAddr,
                  spoof_subnet: Subnet, rate_per_second: int = 1000,
                  target_port: int = 80,
-                 costs: Optional[CostModel] = None):
+                 costs: Optional[CostModel] = None,
+                 ramp_to: Optional[int] = None,
+                 ramp_seconds: float = 0.0,
+                 spoof_hosts: int = 4094):
         if rate_per_second <= 0:
             raise ValueError("rate must be positive")
         self.sim = sim
@@ -47,6 +50,25 @@ class SynAttacker:
         self._running = False
         self._interval = TICKS_PER_SECOND // rate_per_second
         self._spoof_index = 0
+        self.spoof_hosts = spoof_hosts
+        #: Ramping flood: the rate climbs linearly from ``rate_per_second``
+        #: to ``ramp_to`` over ``ramp_seconds`` after :meth:`start` — the
+        #: adaptive-defense scenario, where no static tuning fits both the
+        #: quiet start and the saturated end.
+        self.ramp_to = ramp_to
+        self._ramp_ticks = int(ramp_seconds * TICKS_PER_SECOND)
+        self._start_tick: Optional[int] = None
+
+    def current_rate(self) -> int:
+        """The instantaneous send rate, including any ramp."""
+        if (self.ramp_to is None or self._ramp_ticks <= 0
+                or self._start_tick is None):
+            return self.rate
+        elapsed = self.sim.now - self._start_tick
+        if elapsed >= self._ramp_ticks:
+            return self.ramp_to
+        return self.rate + (self.ramp_to - self.rate) * elapsed \
+            // self._ramp_ticks
 
     def attach(self, medium) -> None:
         medium.attach(self.nic)
@@ -56,6 +78,7 @@ class SynAttacker:
         if self._running:
             return
         self._running = True
+        self._start_tick = self.sim.now
         self.sim.schedule(self._interval, self._fire)
 
     def stop(self) -> None:
@@ -65,9 +88,9 @@ class SynAttacker:
         if not self._running:
             return
         self._spoof_index += 1
-        # Rotate through 4094 spoofed hosts and the whole port space.
+        # Rotate through the spoofed hosts and the whole port space.
         src_ip = next(self.spoof_subnet.hosts(
-            1, start=1 + (self._spoof_index % 4094)))
+            1, start=1 + (self._spoof_index % self.spoof_hosts)))
         src_port = 1024 + (self._spoof_index % 60_000)
         seg = TCPSegment(src_port, self.target_port, seq=0, ack=0,
                          flags=FLAG_SYN)
@@ -75,4 +98,5 @@ class SynAttacker:
         self.nic.send(EthFrame(self.nic.mac, self.server_mac,
                                ETHERTYPE_IP, dgram))
         self.sent += 1
-        self.sim.schedule(self._interval, self._fire)
+        interval = TICKS_PER_SECOND // self.current_rate()
+        self.sim.schedule(max(1, interval), self._fire)
