@@ -20,8 +20,14 @@ Subcommands:
   goodput under a ramping SYN flood / runaway CGI with static policies vs
   the escalating mitigation ladder, plus a record/replay fingerprint
   self-check (``--replay-check``);
+* ``cluster`` — the replicated-Escort comparison: 1 vs N replicas behind
+  the health-checked dispatcher under a ramping SYN flood with a
+  mid-window replica crash, reporting goodput recovery and failover
+  latency (``--replay-check`` runs the record/replay self-check);
 * ``ablation`` — the domain-grouping / crossing-cost / early-drop sweeps;
 * ``bench`` — the wall-clock benchmark suite; writes ``BENCH_sim.json``;
+  ``--baseline`` diffs against a committed report and fails on event-loop
+  regression;
 * ``record`` / ``replay`` — deterministic-replay tooling: record a run's
   event-level fingerprint journal, then re-execute and pinpoint the first
   divergent event (exit 1 on divergence).
@@ -430,6 +436,92 @@ def _defense_replay_check(attack: str, seed: int, args) -> bool:
     return False
 
 
+def cluster_main(argv) -> int:
+    """The 1-vs-N replicated-cluster comparison."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description="Compare 1 vs N Escort replicas behind the "
+                    "health-checked dispatcher under a ramping SYN flood "
+                    "with a mid-window replica crash.")
+    parser.add_argument("--sizes", default="1,3",
+                        help="comma-separated replica counts (default 1,3)")
+    parser.add_argument("--seeds", default="1",
+                        help="comma-separated seeds (default 1)")
+    parser.add_argument("--clients", type=int, default=12)
+    parser.add_argument("--document", default="/doc-1k")
+    parser.add_argument("--syn-rate", type=int, default=200,
+                        help="flood rate at the start of the ramp")
+    parser.add_argument("--syn-ramp-to", type=int, default=4000,
+                        help="flood rate at the end of the ramp")
+    parser.add_argument("--syn-ramp-s", type=float, default=1.5)
+    parser.add_argument("--chaos-at", type=float, default=0.5,
+                        help="crash offset into the window (seconds)")
+    parser.add_argument("--chaos-restore", type=float, default=1.7,
+                        help="cold-restart offset into the window")
+    parser.add_argument("--warmup", type=float, default=0.5)
+    parser.add_argument("--measure", type=float, default=2.5)
+    parser.add_argument("--replay-check", action="store_true",
+                        help="record one attacked 3-replica cell, replay "
+                             "it in lockstep, and verify per-event "
+                             "fingerprints match")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 unless the replicated cluster meets "
+                             "the 70%% recovery target and the single "
+                             "replica collapses")
+    _add_perf_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.experiments.cluster import run_cluster
+    from repro.perf import maybe_profiled
+
+    sizes = [int(s) for s in args.sizes.split(",")]
+    seeds = [int(s) for s in args.seeds.split(",")]
+
+    if args.replay_check:
+        if not _cluster_replay_check(max(sizes), seeds[0], args):
+            return 1
+        print()
+
+    with maybe_profiled(args.profile):
+        result = run_cluster(
+            sizes=sizes, seeds=seeds,
+            clients=args.clients, document=args.document,
+            syn_rate=args.syn_rate, syn_ramp_to=args.syn_ramp_to,
+            syn_ramp_s=args.syn_ramp_s,
+            chaos_at_s=args.chaos_at, chaos_restore_s=args.chaos_restore,
+            warmup_s=args.warmup, measure_s=args.measure,
+            workers=args.workers)
+    print(result.format())
+    if args.strict and not result.meets_target():
+        print("\nFAIL: cluster recovery targets not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cluster_replay_check(size: int, seed: int, args) -> bool:
+    """Record one attacked cell and replay it in event lockstep."""
+    from repro.cluster.run import ClusterRun
+    from repro.snapshot import record, replay
+
+    run = ClusterRun("crash", replicas=size, seed=seed,
+                     clients=args.clients, document=args.document,
+                     syn_rate=args.syn_rate,
+                     syn_ramp_to=args.syn_ramp_to,
+                     syn_ramp_s=args.syn_ramp_s,
+                     chaos_at_s=args.chaos_at,
+                     chaos_restore_s=args.chaos_restore,
+                     warmup_s=args.warmup, measure_s=args.measure)
+    _, recording = record(run)
+    report = replay(recording)
+    if report.ok:
+        print(f"replay check OK: crash cell (n={size}, seed={seed}) "
+              f"reproduced {report.events_replayed} events bit for bit")
+        return True
+    print("REPLAY CHECK FAILED", file=sys.stderr)
+    print(report.divergence.describe(), file=sys.stderr)
+    return False
+
+
 def ablation_main(argv) -> int:
     """The design-choice ablations (domains / crossing cost / early drop)."""
     parser = argparse.ArgumentParser(
@@ -478,6 +570,13 @@ def bench_main(argv) -> int:
                              "to skip writing)")
     parser.add_argument("--skip-sweep", action="store_true",
                         help="skip the multi-worker sweep benchmark")
+    parser.add_argument("--baseline", default=None, metavar="JSON",
+                        help="compare against a committed BENCH_sim.json "
+                             "and fail on event-loop regression")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        metavar="FRAC",
+                        help="allowed events/sec slowdown vs the baseline "
+                             "(default 0.30 = 30%%)")
     args = parser.parse_args(argv)
 
     from repro.perf.bench import format_report, run_bench
@@ -488,6 +587,39 @@ def bench_main(argv) -> int:
     print(format_report(report))
     if args.output != "-":
         print(f"wrote {args.output}")
+    if args.baseline:
+        return _bench_guard(report, args.baseline, args.max_regression)
+    return 0
+
+
+def _bench_guard(report, baseline_path: str, max_regression: float) -> int:
+    """Fail when the event-loop metric regressed past the allowance.
+
+    Wall-clock benchmarks are noisy across machines, so the guard only
+    compares the events/sec headline and only in the slower direction;
+    the committed baseline stays put until someone deliberately re-bases
+    it with ``python -m repro bench -o BENCH_sim.json``.
+    """
+    import json
+
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        base_eps = baseline["event_loop"]["events_per_sec"]
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: cannot read baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    cur_eps = report["event_loop"]["events_per_sec"]
+    floor = base_eps * (1.0 - max_regression)
+    verdict = "OK" if cur_eps >= floor else "REGRESSION"
+    print(f"bench guard: event loop {cur_eps:,.0f} events/s vs baseline "
+          f"{base_eps:,.0f} (floor {floor:,.0f} at "
+          f"-{max_regression:.0%}): {verdict}")
+    if cur_eps < floor:
+        print(f"FAIL: event loop slowed more than {max_regression:.0%} "
+              f"vs {baseline_path}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -568,6 +700,7 @@ _SUBCOMMANDS = {
     "figure10": figure10_main,
     "figure11": figure11_main,
     "defense": defense_main,
+    "cluster": cluster_main,
     "ablation": ablation_main,
     "bench": bench_main,
     "record": record_main,

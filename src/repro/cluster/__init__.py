@@ -1,0 +1,33 @@
+"""The replicated Escort cluster.
+
+A single Escort server — even one whose defense ladder works perfectly —
+caps out at what one box survives.  This package replicates the service:
+N :class:`~repro.cluster.replica.Replica` machines behind a deterministic
+L4 front end (:class:`~repro.cluster.dispatcher.ClusterDispatcher`), with
+active health probing (:class:`~repro.cluster.health.HealthMonitor`),
+connection draining and failover, cluster-level aggregation of the
+per-replica defense signals (:class:`~repro.cluster.defense.ClusterDefense`),
+and the chaos scenarios a single replica cannot survive — a crash, a
+partitioned dispatcher↔replica link, a flapping port — expressed as a
+replayable :class:`~repro.cluster.run.ClusterRun`.
+"""
+
+from repro.cluster.defense import ClusterDefense
+from repro.cluster.dispatcher import ClusterDispatcher
+from repro.cluster.harness import PROBE_IP, VIP, ClusterTestbed
+from repro.cluster.health import HealthMonitor, ReplicaHealth
+from repro.cluster.replica import Replica
+from repro.cluster.run import ClusterRun, ClusterRunResult
+
+__all__ = [
+    "ClusterDefense",
+    "ClusterDispatcher",
+    "ClusterRun",
+    "ClusterRunResult",
+    "ClusterTestbed",
+    "HealthMonitor",
+    "PROBE_IP",
+    "Replica",
+    "ReplicaHealth",
+    "VIP",
+]

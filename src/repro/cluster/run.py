@@ -1,0 +1,281 @@
+"""The cluster chaos experiment as a replayable spec.
+
+One :class:`ClusterRun` is one cell of the 1-vs-N comparison: a seeded
+client population with the application-level retry stack, optionally a
+ramping trusted-subnet SYN flood, and one chaos scenario dropped into the
+middle of the measurement window:
+
+* ``crash`` — a replica fail-stops mid-window and cold-restarts later
+  (connection state flushed, exactly what a reboot loses);
+* ``partition`` — the dispatcher↔replica link is cut and later healed
+  (connection state survives on both sides);
+* ``flap`` — the same link bounces down/up several times.
+
+Everything derives from the spec and the seed — client RNGs are reseeded
+per ``(ip, seed)``, the flood ramp, probe loops and defense scans are all
+tick-driven — so a recorded run replays bit for bit, serial and
+``--workers`` sweeps are byte-identical, and the digest machinery can pin
+the whole cluster's state (see ``_cluster_summary`` in
+:mod:`repro.snapshot.digest`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.clock import seconds_to_ticks, ticks_to_seconds
+from repro.snapshot.runs import SETTLE_S, ReplayableRun
+
+CHAOS_KINDS = ("none", "crash", "partition", "flap")
+
+#: The flood spoofs the same trusted-subnet corner as the defense runs:
+#: inside 10.1.0.0/16 (no static cap applies) but disjoint from real
+#: client addresses.
+SPOOF_SUBNET_CIDR = "10.1.64.0/18"
+
+#: Link-flap chaos: the victim's link bounces this many times, this far
+#: apart, starting at the chaos milestone.
+FLAP_COUNT = 3
+FLAP_PERIOD_S = 0.04
+
+
+@dataclass
+class ClusterRunResult:
+    """What one cluster cell measured."""
+
+    replicas: int
+    adaptive: bool
+    chaos: str
+    seed: int
+    window_start: int
+    window_end: int
+    goodput_cps: float
+    completions: int
+    aborted: int
+    refused: int
+    retried: int
+    degraded: int
+    syn_sent: int
+    #: Seconds from the chaos milestone to the health monitor marking the
+    #: victim down (None when no chaos fired or it was never detected).
+    failover_latency_s: Optional[float]
+    health_downs: int
+    health_ups: int
+    drained_conns: int
+    rst_sent: int
+    edge_shed: int
+    forwarded_in: int
+    forwarded_out: int
+    drops_no_replica: int
+    flushed_paths: int
+    defense_actions: int
+    per_replica: List[Dict] = field(default_factory=list)
+
+
+class ClusterRun(ReplayableRun):
+    """One cluster chaos cell as fixed-tick milestones."""
+
+    KIND = "cluster"
+
+    def __init__(self, chaos: str = "crash", *,
+                 replicas: int = 3, adaptive: bool = True, seed: int = 1,
+                 clients: int = 12, document: str = "/doc-1k",
+                 retry: bool = True,
+                 syn_rate: int = 0, syn_ramp_to: int = 4000,
+                 syn_ramp_s: float = 1.5, spoof_hosts: int = 500,
+                 victim: int = 0,
+                 chaos_at_s: float = 0.5, chaos_restore_s: float = 1.7,
+                 warmup_s: float = 0.5, measure_s: float = 2.5):
+        if chaos not in CHAOS_KINDS:
+            raise ValueError(f"unknown chaos kind {chaos!r} "
+                             f"(known: {', '.join(CHAOS_KINDS)})")
+        if not 0 <= victim < replicas:
+            raise ValueError("victim must index a replica")
+        self.chaos = chaos
+        self.replicas = replicas
+        self.adaptive = adaptive
+        self.seed = seed
+        self.clients = clients
+        self.document = document
+        self.retry = retry
+        self.syn_rate = syn_rate
+        self.syn_ramp_to = syn_ramp_to
+        self.syn_ramp_s = syn_ramp_s
+        self.spoof_hosts = spoof_hosts
+        self.victim = victim
+        self.chaos_at_s = chaos_at_s
+        self.chaos_restore_s = chaos_restore_s
+        self.warmup_s = warmup_s
+        self.measure_s = measure_s
+        self.run_result: Optional[ClusterRunResult] = None
+        self._window_start = None
+        self._chaos_tick: Optional[int] = None
+        self._outcomes_at_start = (0, 0, 0, 0)
+
+    # ------------------------------------------------------------------
+    def spec(self) -> Dict:
+        return {
+            "run": self.KIND,
+            "chaos": self.chaos,
+            "replicas": self.replicas,
+            "adaptive": self.adaptive,
+            "seed": self.seed,
+            "clients": self.clients,
+            "document": self.document,
+            "retry": self.retry,
+            "syn_rate": self.syn_rate,
+            "syn_ramp_to": self.syn_ramp_to,
+            "syn_ramp_s": self.syn_ramp_s,
+            "spoof_hosts": self.spoof_hosts,
+            "victim": self.victim,
+            "chaos_at_s": self.chaos_at_s,
+            "chaos_restore_s": self.chaos_restore_s,
+            "warmup_s": self.warmup_s,
+            "measure_s": self.measure_s,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict) -> "ClusterRun":
+        fields_ = {k: v for k, v in spec.items() if k != "run"}
+        return cls(fields_.pop("chaos"), **fields_)
+
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        from repro.cluster.harness import ClusterTestbed
+        from repro.net.addressing import Subnet
+        from repro.workload.clients import RetryPolicy
+
+        self.bed = ClusterTestbed(replicas=self.replicas,
+                                  adaptive=self.adaptive)
+        retry = RetryPolicy() if self.retry else None
+        self.bed.add_clients(self.clients, document=self.document,
+                             retry=retry)
+        # Per-seed determinism: client RNGs (request jitter + backoff
+        # jitter) are the only stochastic element, reseeded per (ip, seed).
+        for client in self.bed.clients:
+            client.rng.seed(f"{client.ip}/{self.seed}")
+        if self.syn_rate:
+            self.bed.add_syn_attacker(
+                self.syn_rate,
+                spoof_subnet=Subnet(SPOOF_SUBNET_CIDR),
+                ramp_to=self.syn_ramp_to,
+                ramp_seconds=self.syn_ramp_s,
+                spoof_hosts=self.spoof_hosts)
+
+    def milestones(self) -> List[Tuple[int, str]]:
+        settle = seconds_to_ticks(SETTLE_S)
+        warm_end = settle + seconds_to_ticks(self.warmup_s)
+        measure_end = warm_end + seconds_to_ticks(self.measure_s)
+        out = [
+            (0, "boot"),
+            (settle, "start_load"),
+            (warm_end, "begin_window"),
+        ]
+        if self.chaos != "none":
+            out.append((warm_end + seconds_to_ticks(self.chaos_at_s),
+                        "chaos_hit"))
+            restore_at = warm_end + seconds_to_ticks(self.chaos_restore_s)
+            if self.chaos in ("crash", "partition") \
+                    and restore_at < measure_end:
+                out.append((restore_at, "chaos_restore"))
+        out.append((measure_end, "end_window"))
+        return out
+
+    def result(self) -> Optional[ClusterRunResult]:
+        return self.run_result
+
+    # -- timeline actions ----------------------------------------------
+    def ms_boot(self) -> None:
+        self.bed.boot()
+
+    def ms_start_load(self) -> None:
+        self.bed.start_load()
+
+    def ms_begin_window(self) -> None:
+        self._window_start = self.bed.begin_window()
+        stats = self.bed.stats
+        self._outcomes_at_start = tuple(
+            stats.outcome_total("client", k)
+            for k in ("aborted", "refused", "retried", "degraded"))
+
+    def ms_chaos_hit(self) -> None:
+        self._chaos_tick = self.bed.sim.now
+        replica = self.bed.replicas[self.victim]
+        if self.chaos == "crash":
+            replica.crash()
+        elif self.chaos == "partition":
+            replica.partition()
+        elif self.chaos == "flap":
+            self._start_flaps(replica)
+
+    def _start_flaps(self, replica) -> None:
+        """Bounce the victim's link FLAP_COUNT times, ending up."""
+        period = seconds_to_ticks(FLAP_PERIOD_S)
+        replica.gate.set_link(False)
+        for k in range(1, FLAP_COUNT * 2):
+            up = (k % 2 == 1)
+            self.bed.sim.schedule(
+                k * period,
+                lambda up=up: replica.gate.set_link(up))
+
+    def ms_chaos_restore(self) -> None:
+        replica = self.bed.replicas[self.victim]
+        if self.chaos == "crash":
+            replica.restore()
+        elif self.chaos == "partition":
+            replica.heal_partition()
+
+    def ms_end_window(self) -> None:
+        bed = self.bed
+        start = self._window_start
+        end = bed.sim.now
+        stats = bed.stats
+        dispatcher = bed.dispatcher
+        a0, r0, t0, d0 = self._outcomes_at_start
+
+        failover = None
+        if self._chaos_tick is not None:
+            down_at = bed.health.first_down_after(self._chaos_tick,
+                                                  index=self.victim)
+            if down_at is not None:
+                failover = ticks_to_seconds(down_at - self._chaos_tick)
+
+        transitions = bed.health.transitions
+        self.run_result = ClusterRunResult(
+            replicas=self.replicas,
+            adaptive=self.adaptive,
+            chaos=self.chaos,
+            seed=self.seed,
+            window_start=start,
+            window_end=end,
+            goodput_cps=stats.rate_per_second("client", start, end),
+            completions=stats.completions_in("client", start, end),
+            aborted=stats.outcome_total("client", "aborted") - a0,
+            refused=stats.outcome_total("client", "refused") - r0,
+            retried=stats.outcome_total("client", "retried") - t0,
+            degraded=stats.outcome_total("client", "degraded") - d0,
+            syn_sent=(bed.syn_attacker.sent if bed.syn_attacker else 0),
+            failover_latency_s=failover,
+            health_downs=sum(1 for _, _, k in transitions if k == "down"),
+            health_ups=sum(1 for _, _, k in transitions if k == "up"),
+            drained_conns=dispatcher.drained_conns,
+            rst_sent=dispatcher.rst_sent,
+            edge_shed=dispatcher.edge_shed,
+            forwarded_in=dispatcher.forwarded_in,
+            forwarded_out=dispatcher.forwarded_out,
+            drops_no_replica=dispatcher.drops_no_replica,
+            flushed_paths=sum(r.flushed_paths for r in bed.replicas),
+            defense_actions=(len(bed.defense.log) if bed.defense else 0),
+            per_replica=[{
+                "index": r.index,
+                "link_up": r.link_up,
+                "crashes": r.crashes,
+                "demux_drops": sum(r.server.tcp.demux_drops.values()),
+                "half_open": r.server.tcp.half_open(),
+            } for r in bed.replicas],
+        )
+
+    def extra_summary(self) -> Dict:
+        return {"window_start": self._window_start or 0,
+                "seed": self.seed}

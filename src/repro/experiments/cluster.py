@@ -1,0 +1,149 @@
+"""The 1-vs-N replica cluster comparison.
+
+For each cluster size two cells run on the same seed:
+
+* **no attack** — the reference goodput the retrying clients achieve
+  against N healthy replicas with nobody attacking;
+* **attacked** — the same cluster under a ramping trusted-subnet SYN
+  flood with a replica **crash** dropped mid-window (cold restart later),
+  exercising the whole failover path: health probes detect the dead
+  replica, the dispatcher drains and RSTs its flows, client retries
+  re-steer to the survivors, and the cluster defense sheds the flood's
+  hot prefixes at the edge.
+
+The table reports each attacked cell's goodput as a percentage of the
+same-size no-attack reference, plus the failover latency (chaos tick to
+the health monitor marking the victim down).  The replicated cluster must
+ride through the combined flood+crash; the single box — which *is* the
+victim — collapses for the whole outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.report import format_table
+
+#: The ISSUE's acceptance bar: the replicated cluster must recover at
+#: least this share of its own no-attack goodput under flood + crash.
+CLUSTER_RECOVERY_TARGET = 0.70
+#: ... while the single replica should do no better than this (it is the
+#: crash victim and has nobody to fail over to).
+SINGLE_COLLAPSE_CEILING = 0.50
+
+
+@dataclass
+class ClusterComparison:
+    """Two-cell comparison for every (cluster size, seed) combination."""
+
+    sizes: List[int]
+    seeds: List[int]
+    #: (size, seed) -> {"none": cell, "attacked": cell}
+    cells: Dict[tuple, Dict[str, Dict]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def recovery(self, size: int, seed: int) -> float:
+        """Attacked goodput as a fraction of the same-size reference."""
+        group = self.cells[(size, seed)]
+        reference = group["none"]["goodput_cps"]
+        if not reference:
+            return 0.0
+        return group["attacked"]["goodput_cps"] / reference
+
+    def mean_recovery(self, size: int) -> float:
+        return sum(self.recovery(size, s)
+                   for s in self.seeds) / len(self.seeds)
+
+    def meets_target(self) -> bool:
+        """Replicated cluster rides through; the single box collapses."""
+        replicated = max(self.sizes)
+        ok = self.mean_recovery(replicated) >= CLUSTER_RECOVERY_TARGET
+        if 1 in self.sizes:
+            ok = ok and (self.mean_recovery(1) <= SINGLE_COLLAPSE_CEILING)
+        return ok
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        headers = ["replicas", "seed", "no-attack c/s", "attacked c/s",
+                   "recovery", "failover", "retried", "drained",
+                   "edge shed"]
+        rows = []
+        for size in self.sizes:
+            for seed in self.seeds:
+                group = self.cells[(size, seed)]
+                attacked = group["attacked"]
+                latency = attacked.get("failover_latency_s")
+                rows.append([
+                    size, seed,
+                    group["none"]["goodput_cps"],
+                    attacked["goodput_cps"],
+                    f"{self.recovery(size, seed):.0%}",
+                    (f"{latency * 1000:.0f}ms"
+                     if latency is not None else "-"),
+                    attacked.get("retried", 0),
+                    attacked.get("drained_conns", 0),
+                    attacked.get("edge_shed", 0),
+                ])
+        notes = []
+        for size in self.sizes:
+            mean = self.mean_recovery(size)
+            if size == 1:
+                verdict = ("collapses" if mean <= SINGLE_COLLAPSE_CEILING
+                           else "UNEXPECTEDLY SURVIVES")
+                notes.append(f"1 replica: recovers {mean:.0%} under "
+                             f"flood + crash ({verdict}; the victim has "
+                             "nobody to fail over to)")
+            else:
+                verdict = ("meets" if mean >= CLUSTER_RECOVERY_TARGET
+                           else "MISSES")
+                notes.append(f"{size} replicas: recovers {mean:.0%} of "
+                             f"no-attack goodput ({verdict} the "
+                             f"{CLUSTER_RECOVERY_TARGET:.0%} target)")
+        return format_table(
+            "Cluster — goodput under SYN flood with a mid-window replica "
+            "crash, 1 vs N replicas (connections/second)",
+            headers, rows, note="\n".join(notes))
+
+
+def _cell_key(size: int, mode: str, seed: int) -> str:
+    return f"n{size}/{mode}/{seed}"
+
+
+def run_cluster(sizes: Sequence[int] = (1, 3),
+                seeds: Sequence[int] = (1,),
+                clients: int = 12, document: str = "/doc-1k",
+                syn_rate: int = 200, syn_ramp_to: int = 4000,
+                syn_ramp_s: float = 1.5, spoof_hosts: int = 500,
+                chaos_at_s: float = 0.5, chaos_restore_s: float = 1.7,
+                warmup_s: float = 0.5, measure_s: float = 2.5,
+                workers: int = 0) -> ClusterComparison:
+    """Run the 1-vs-N matrix; ``workers > 1`` fans cells out."""
+    from repro.perf.pool import SweepCell, run_cells
+
+    cells = []
+    for size in sizes:
+        for seed in seeds:
+            for mode in ("none", "attacked"):
+                attacked = mode == "attacked"
+                params = dict(
+                    chaos="crash" if attacked else "none",
+                    replicas=size, adaptive=True, seed=seed,
+                    clients=clients, document=document, retry=True,
+                    syn_rate=syn_rate if attacked else 0,
+                    syn_ramp_to=syn_ramp_to, syn_ramp_s=syn_ramp_s,
+                    spoof_hosts=spoof_hosts, victim=0,
+                    chaos_at_s=chaos_at_s,
+                    chaos_restore_s=chaos_restore_s,
+                    warmup_s=warmup_s, measure_s=measure_s)
+                cells.append(SweepCell(key=_cell_key(size, mode, seed),
+                                       runner="cluster", params=params))
+    merged = run_cells(cells, workers=workers)
+
+    result = ClusterComparison(sizes=list(sizes), seeds=list(seeds))
+    for size in sizes:
+        for seed in seeds:
+            result.cells[(size, seed)] = {
+                mode: merged[_cell_key(size, mode, seed)]
+                for mode in ("none", "attacked")}
+    return result

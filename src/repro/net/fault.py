@@ -97,8 +97,18 @@ class FaultInjector(Medium):
         With ``receive=True``, deliveries to the NIC are also interposed,
         so receive-side faults hit frames the wrapped medium (or another
         injector-free path) sends toward this NIC.
+
+        Works with media that already bind their NIC at construction — a
+        :class:`~repro.net.link.SwitchPort` binds exactly one NIC when the
+        switch creates it — by skipping the inner re-attachment and only
+        interposing.  Wrapping a switch port this way makes the injector a
+        *per-port* medium: the port's ingress (NIC -> switch) rolls the
+        fault model on the send side, and its egress (switch -> NIC) rolls
+        it on the receive side, so one flapping port behaves exactly like
+        one flapping cable while the rest of the switch stays clean.
         """
-        self.inner.attach(nic)
+        if getattr(self.inner, "nic", None) is not nic:
+            self.inner.attach(nic)
         nic.medium = self  # interpose on the send side
         if receive:
             self.interpose_receive(nic)

@@ -216,6 +216,34 @@ def defense_cell(attack: str, adaptive: bool, seed: int,
 
 
 # ----------------------------------------------------------------------
+# Cluster cell (1-vs-N replica chaos matrix)
+# ----------------------------------------------------------------------
+@cell_runner("cluster")
+def cluster_cell(chaos: str, replicas: int, adaptive: bool, seed: int,
+                 clients: int, document: str, retry: bool,
+                 syn_rate: int, syn_ramp_to: int, syn_ramp_s: float,
+                 spoof_hosts: int, victim: int,
+                 chaos_at_s: float, chaos_restore_s: float,
+                 warmup_s: float, measure_s: float) -> Dict[str, Any]:
+    """One cluster cell: N replicas, optional flood, optional mid-window
+    chaos."""
+    from dataclasses import asdict
+
+    from repro.cluster.run import ClusterRun
+    from repro.snapshot.driver import RunDriver
+
+    run = ClusterRun(chaos, replicas=replicas, adaptive=adaptive,
+                     seed=seed, clients=clients, document=document,
+                     retry=retry, syn_rate=syn_rate,
+                     syn_ramp_to=syn_ramp_to, syn_ramp_s=syn_ramp_s,
+                     spoof_hosts=spoof_hosts, victim=victim,
+                     chaos_at_s=chaos_at_s,
+                     chaos_restore_s=chaos_restore_s,
+                     warmup_s=warmup_s, measure_s=measure_s)
+    return asdict(RunDriver(run).run_all())
+
+
+# ----------------------------------------------------------------------
 # Chaos matrix cell
 # ----------------------------------------------------------------------
 @cell_runner("chaos")

@@ -74,7 +74,15 @@ def light_state(sim, kernel=None) -> List[int]:
 # Summary builders
 # ----------------------------------------------------------------------
 def machine_summary(bed) -> Dict:
-    """Canonical summary of a whole testbed (server + sim + workload)."""
+    """Canonical summary of a whole testbed (server + sim + workload).
+
+    A clustered testbed (anything with a ``replicas`` list) gets the
+    cluster-shaped summary instead: the same per-server sections repeated
+    per replica, plus dispatcher, health-monitor and cluster-defense
+    state.
+    """
+    if getattr(bed, "replicas", None) is not None:
+        return _cluster_summary(bed)
     sim = bed.sim
     out: Dict = {
         "sim": _sim_summary(sim),
@@ -92,6 +100,42 @@ def machine_summary(bed) -> Dict:
     defense = getattr(server, "defense", None)
     if defense is not None:
         out["defense"] = _defense_summary(defense)
+    out["clients"] = len(getattr(bed, "clients", ()))
+    return out
+
+
+def _cluster_summary(bed) -> Dict:
+    """Canonical summary of a clustered testbed (dispatcher + N replicas)."""
+    out: Dict = {
+        "sim": _sim_summary(bed.sim),
+        "stats": _stats_summary(getattr(bed, "stats", None)),
+        "dispatcher": bed.dispatcher.summary(),
+        "health": bed.health.summary(),
+        "replicas": [],
+    }
+    for replica in bed.replicas:
+        server = replica.server
+        kernel = server.kernel
+        entry = {
+            "index": replica.index,
+            "link_up": replica.link_up,
+            "crashes": replica.crashes,
+            "restores": replica.restores,
+            "flushed_paths": replica.flushed_paths,
+            "gate": replica.gate.stats(),
+            "kernel": _kernel_summary(kernel),
+            "owners": _owners_summary(server, kernel),
+            "paths": _path_manager_summary(server),
+            "tcp": _tcp_summary(server),
+        }
+        defense = getattr(server, "defense", None)
+        if defense is not None:
+            entry["defense"] = _defense_summary(defense)
+        out["replicas"].append(entry)
+    if bed.syn_attacker is not None:
+        out["syn_attacker"] = {"sent": bed.syn_attacker.sent}
+    if getattr(bed, "defense", None) is not None:
+        out["cluster_defense"] = bed.defense.summary()
     out["clients"] = len(getattr(bed, "clients", ()))
     return out
 

@@ -223,4 +223,7 @@ def run_from_spec(spec: Dict) -> ReplayableRun:
     if kind == "defense":
         from repro.defense.run import DefenseRun
         return DefenseRun.from_spec(spec)
+    if kind == "cluster":
+        from repro.cluster.run import ClusterRun
+        return ClusterRun.from_spec(spec)
     raise ValueError(f"unknown run spec kind: {kind!r}")

@@ -8,7 +8,11 @@ overhead (process wakeup, socket setup) and a per-packet turnaround delay,
 both of which shape the sub-saturation region of Figure 8.
 
 :class:`HttpClient` is the paper's "Client" load: a serial loop fetching
-one document over and over.
+one document over and over.  With a :class:`RetryPolicy` attached it gains
+an application-level retry stack — per-request deadlines, capped
+exponential backoff with seeded jitter, and a retry *budget* — which is
+what lets it survive a replica failover in the clustered testbed without
+turning goodput collapse into a self-inflicted retry storm.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.sim.clock import seconds_to_ticks
 from repro.sim.costs import CostModel
 from repro.sim.engine import Simulator
 from repro.net.addressing import MacAddr
@@ -185,6 +190,55 @@ class ClientHost:
         return int(base_ticks * self.rng.uniform(1 - spread, 1 + spread))
 
 
+class RetryPolicy:
+    """Application-level retry behaviour for :class:`HttpClient`.
+
+    Three mechanisms, all deterministic:
+
+    * **per-attempt deadline** — an attempt that has not completed after
+      ``deadline_s`` is aborted client-side (the stalled-replica case a
+      TCP RTO alone handles far too slowly for interactive goodput);
+    * **capped exponential backoff with seeded jitter** — attempt *n*
+      waits ``min(cap, base * 2^(n-1))`` scaled by the client host's own
+      seeded RNG, so a failover does not re-synchronize every client into
+      a thundering herd;
+    * **retry budget** — a token account that earns ``budget_ratio``
+      tokens per fresh request and spends one whole token per retry
+      (fixed-point thousandths, so replay is exact).  When the budget is
+      empty the failure is final: a dead server makes the clients *back
+      off*, not amplify the outage into a self-inflicted retry storm.
+    """
+
+    __slots__ = ("max_attempts", "deadline_ticks", "backoff_base_ticks",
+                 "backoff_cap_ticks", "jitter", "budget_ratio_mils",
+                 "budget_cap_mils", "budget_initial_mils")
+
+    def __init__(self, max_attempts: int = 4, deadline_s: float = 0.25,
+                 backoff_base_s: float = 0.02, backoff_cap_s: float = 0.16,
+                 jitter: float = 0.5, budget_ratio: float = 0.2,
+                 budget_cap: int = 20, budget_initial: int = 5):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.max_attempts = max_attempts
+        self.deadline_ticks = seconds_to_ticks(deadline_s)
+        self.backoff_base_ticks = seconds_to_ticks(backoff_base_s)
+        self.backoff_cap_ticks = seconds_to_ticks(backoff_cap_s)
+        self.jitter = jitter
+        #: Budget arithmetic in integer thousandths of a token.
+        self.budget_ratio_mils = int(budget_ratio * 1000)
+        self.budget_cap_mils = budget_cap * 1000
+        self.budget_initial_mils = budget_initial * 1000
+
+    def backoff_ticks(self, attempt: int, rng: random.Random) -> int:
+        """Delay before retry attempt ``attempt`` (2, 3, ...), jittered."""
+        base = min(self.backoff_cap_ticks,
+                   self.backoff_base_ticks << max(0, attempt - 2))
+        return max(1, int(base * rng.uniform(1 - self.jitter,
+                                             1 + self.jitter)))
+
+
 class HttpClient(ClientHost):
     """The paper's Client load: serial requests for one document."""
 
@@ -193,21 +247,31 @@ class HttpClient(ClientHost):
     def __init__(self, sim: Simulator, ip: str, server_ip: str,
                  document: str, costs: Optional[CostModel] = None,
                  stats: Optional[WorkloadStats] = None,
-                 stats_class: str = "client"):
+                 stats_class: str = "client",
+                 retry: Optional[RetryPolicy] = None):
         super().__init__(sim, ip, costs=costs, stats=stats,
                          label=f"client-{ip}")
         self.server_ip = server_ip
         self.document = document
         self.stats_class = stats_class
+        self.retry = retry
         self.requests_started = 0
         self.requests_completed = 0
         self.requests_failed = 0
         self.requests_refused = 0
         self.requests_degraded = 0
+        #: Failed attempts redone by the retry stack (never counted as
+        #: started requests or completions in their own right).
+        self.requests_retried = 0
+        #: Retries the budget refused (storm prevention engaging).
+        self.retries_denied = 0
+        #: Attempts aborted client-side by the per-request deadline.
+        self.deadline_aborts = 0
         self.bytes_received = 0
         #: Response size of each completed request (header + body).
         self.response_sizes: list = []
         self._running = False
+        self._budget_mils = retry.budget_initial_mils if retry else 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -227,10 +291,34 @@ class HttpClient(ClientHost):
         if not self._running:
             return
         self.requests_started += 1
+        if self.retry is not None:
+            self._budget_mils = min(self.retry.budget_cap_mils,
+                                    self._budget_mils
+                                    + self.retry.budget_ratio_mils)
+        self._start_attempt(1)
+
+    def _take_retry_token(self) -> bool:
+        if self._budget_mils >= 1000:
+            self._budget_mils -= 1000
+            return True
+        return False
+
+    def _start_attempt(self, attempt: int) -> None:
+        if not self._running:
+            return
         from repro.modules.http import HTTPRequest  # avoid import cycle
         conn = self.connect(self.server_ip, 80,
                             delayed_ack_ticks=self.costs.client_delayed_ack_ticks)
         got = {"bytes": 0, "tag": None}
+        deadline_ev = None
+        if self.retry is not None:
+            def expire() -> None:
+                # Attempt still open past its deadline: abort client-side
+                # (emits RST) and let the closed handler decide on retry.
+                self.deadline_aborts += 1
+                conn.abort()
+            deadline_ev = self.sim.schedule(self.retry.deadline_ticks,
+                                            expire)
 
         conn.on_established = lambda: conn.send(
             self.REQUEST_BYTES, app_data=HTTPRequest("GET", self.document))
@@ -245,19 +333,11 @@ class HttpClient(ClientHost):
         conn.on_fin = conn.close
 
         def closed(aborted: bool) -> None:
+            if deadline_ev is not None:
+                deadline_ev.cancel()
             if aborted or got["bytes"] == 0:
-                # Distinguish an active refusal (RST to our SYN) from a
-                # silent abort after the retry budget — the latter is the
-                # signature of a defense dropping a legitimate client.
-                self.requests_failed += 1
-                self.stats.fail(self.stats_class)
-                if conn.refused:
-                    self.requests_refused += 1
-                    self.stats.outcome(self.stats_class, "refused",
-                                       self.sim.now)
-                else:
-                    self.stats.outcome(self.stats_class, "aborted",
-                                       self.sim.now)
+                if self._attempt_failed(attempt, conn):
+                    return  # retry scheduled; the logical request stays open
             else:
                 self.requests_completed += 1
                 self.response_sizes.append(got["bytes"])
@@ -274,3 +354,40 @@ class HttpClient(ClientHost):
                     self._begin_request)
 
         conn.on_closed = closed
+
+    def _attempt_failed(self, attempt: int, conn: ClientConnection) -> bool:
+        """One attempt died (aborted, refused, or empty).
+
+        Returns True when a retry of the same logical request was
+        scheduled; False when the failure is final (the caller then closes
+        out the request and moves on).
+        """
+        policy = self.retry
+        if policy is not None and self._running \
+                and attempt < policy.max_attempts:
+            if self._take_retry_token():
+                # The attempt is recorded as `retried`, never as a fresh
+                # start or a completion — the logical request stays open.
+                self.requests_retried += 1
+                self.stats.outcome(self.stats_class, "retried",
+                                   self.sim.now)
+                self.sim.schedule(
+                    policy.backoff_ticks(attempt + 1, self.rng),
+                    lambda: self._retry_attempt(attempt + 1))
+                return True
+            self.retries_denied += 1
+        # Final failure.  Distinguish an active refusal (RST to our SYN)
+        # from a silent abort after the retry budget — the latter is the
+        # signature of a defense dropping a legitimate client.
+        self.requests_failed += 1
+        self.stats.fail(self.stats_class)
+        if conn.refused:
+            self.requests_refused += 1
+            self.stats.outcome(self.stats_class, "refused", self.sim.now)
+        else:
+            self.stats.outcome(self.stats_class, "aborted", self.sim.now)
+        return False
+
+    def _retry_attempt(self, attempt: int) -> None:
+        if self._running:
+            self._start_attempt(attempt)

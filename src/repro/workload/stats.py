@@ -20,10 +20,14 @@ class WorkloadStats:
     #: = the client's TCP gave up (retry budget) or was reset mid-stream;
     #: ``refused`` = actively refused before establishment (RST to a
     #: SYN); ``degraded`` = completed, but with a shed/shrunk response
-    #: (the server's graceful-degradation tiers).  Defense experiments
-    #: need these separated: an "aborted" legitimate client under an
-    #: active defense is a false-positive drop.
-    OUTCOMES = ("aborted", "refused", "degraded")
+    #: (the server's graceful-degradation tiers); ``retried`` = one
+    #: failed *attempt* that the client's retry stack is about to redo —
+    #: recorded per attempt so a failover retry is never double-counted
+    #: as a fresh completion (the logical request completes at most
+    #: once).  Defense experiments need these separated: an "aborted"
+    #: legitimate client under an active defense is a false-positive
+    #: drop, while a burst of "retried" marks a failover in progress.
+    OUTCOMES = ("aborted", "refused", "degraded", "retried")
 
     def __init__(self) -> None:
         #: class -> sorted list of completion ticks.

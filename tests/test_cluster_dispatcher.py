@@ -1,0 +1,126 @@
+"""Unit tests for the L4 dispatcher (steering, shedding, drain, probes)."""
+
+import pytest
+
+from repro.sim.clock import seconds_to_ticks
+from repro.defense.ratelimit import TokenBucket
+from repro.net.packet import (
+    ETHERTYPE_IP,
+    FLAG_RST,
+    FLAG_SYN,
+    EthFrame,
+    IPDatagram,
+    IPPROTO_TCP,
+    TCPSegment,
+)
+
+pytestmark = pytest.mark.cluster
+
+
+def make_bed(replicas=3, **kw):
+    from repro.cluster.harness import ClusterTestbed
+    return ClusterTestbed(replicas=replicas, adaptive=False, **kw)
+
+
+def syn_frame(bed, src_ip, src_port):
+    seg = TCPSegment(src_port, 80, seq=1, ack=0, flags=FLAG_SYN)
+    dgram = IPDatagram(src_ip, bed.dispatcher.vip, IPPROTO_TCP, seg)
+    return EthFrame(None, bed.dispatcher.front.mac, ETHERTYPE_IP, dgram)
+
+
+def test_steering_is_deterministic_and_sticky():
+    bed = make_bed()
+    d = bed.dispatcher
+    picks = {d._steer("10.1.0.7", port, "10.1.0")
+             for port in range(10_000, 10_200)}
+    # Rendezvous hashing spreads flows over every replica...
+    assert picks == {0, 1, 2}
+    # ...and the same flow always lands on the same replica.
+    assert all(d._steer("10.1.0.7", 10_001, "10.1.0")
+               == d._steer("10.1.0.7", 10_001, "10.1.0")
+               for _ in range(5))
+    # A SYN pins the flow; follow-up segments reuse the sticky entry.
+    d._from_edge(syn_frame(bed, "10.1.0.7", 10_001))
+    assert ("10.1.0.7", 10_001, 80) in d.conn_map
+
+
+def test_unhealthy_replicas_are_excluded_from_steering():
+    bed = make_bed()
+    d = bed.dispatcher
+    # Without health data everyone is a candidate; mark 0 down by hand.
+    bed.health.replicas[0].up = False
+    picks = {d._steer(f"10.1.0.{i}", 10_000 + i, "10.1.0")
+             for i in range(60)}
+    assert 0 not in picks and picks == {1, 2}
+    bed.health.replicas[1].up = False
+    bed.health.replicas[2].up = False
+    assert d._steer("10.1.0.9", 12_345, "10.1.0") is None
+    d._from_edge(syn_frame(bed, "10.1.0.9", 12_345))
+    assert d.drops_no_replica == 1
+
+
+def test_steer_map_quarantines_a_prefix():
+    bed = make_bed()
+    d = bed.dispatcher
+    d.steer_map["10.1.64"] = 2
+    for port in range(10_000, 10_020):
+        assert d._steer(f"10.1.64.5", port, "10.1.64") == 2
+    # The override only applies while its target is healthy.
+    bed.health.replicas[2].up = False
+    assert d._steer("10.1.64.5", 10_000, "10.1.64") in (0, 1)
+
+
+def test_edge_bucket_sheds_syns_before_any_replica():
+    bed = make_bed()
+    d = bed.dispatcher
+    d.edge_buckets["10.9.0"] = TokenBucket(1, 2, now=bed.sim.now)
+    for port in range(10_000, 10_010):
+        d._from_edge(syn_frame(bed, "10.9.0.1", port))
+    # Two burst tokens admitted, the rest shed at the edge.
+    assert d.edge_shed == 8
+    assert d.forwarded_in == 2
+    # A clean prefix is untouched.
+    d._from_edge(syn_frame(bed, "10.1.0.1", 10_000))
+    assert d.edge_shed == 8
+
+
+def test_drain_resets_reachable_clients_and_clears_flows():
+    bed = make_bed()
+    bed.add_clients(2)
+    bed.boot()
+    bed.sim.run(until=seconds_to_ticks(0.01))
+    d = bed.dispatcher
+    client = bed.clients[0]
+    # Two real flows and one spoofed (no ARP entry) pinned to replica 0,
+    # plus one flow on replica 1 that the drain must not touch.
+    d.conn_map[(client.ip, 10_001, 80)] = 0
+    d.conn_map[(bed.clients[1].ip, 10_002, 80)] = 0
+    d.conn_map[("10.1.64.9", 10_003, 80)] = 0
+    d.conn_map[(client.ip, 10_009, 80)] = 1
+
+    got = []
+    client.nic.on_receive = got.append
+    drained = d.drain(0)
+    bed.sim.run(until=bed.sim.now + seconds_to_ticks(0.01))
+
+    assert drained == 3
+    assert d.drained_conns == 3
+    assert d.rst_sent == 2  # the spoofed flow had nobody to notify
+    assert [k for k, v in d.conn_map.items() if v == 0] == []
+    assert d.conn_map[(client.ip, 10_009, 80)] == 1
+    # The client actually received a forged RST for its drained flow.
+    segs = [f.payload.payload for f in got
+            if f.payload.dst_ip == client.ip]
+    assert any(s.flags & FLAG_RST and s.dst_port == 10_001 for s in segs)
+
+
+def test_health_probes_flow_and_replicas_stay_up():
+    bed = make_bed()
+    bed.boot()
+    bed.sim.run(until=seconds_to_ticks(0.01))
+    bed.health.start()
+    bed.sim.run(until=bed.sim.now + seconds_to_ticks(0.2))
+    assert bed.dispatcher.probe_replies > 3 * 10
+    assert bed.health.healthy_indices() == [0, 1, 2]
+    assert all(r.score > 0.9 for r in bed.health.replicas)
+    assert bed.health.transitions == []

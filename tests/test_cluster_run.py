@@ -1,0 +1,114 @@
+"""ClusterRun as a replayable spec: digests, record/replay, sweeps."""
+
+import json
+
+import pytest
+
+from repro.snapshot.driver import RunDriver
+from repro.snapshot.runs import run_from_spec
+
+pytestmark = pytest.mark.cluster
+
+#: Small-but-real parameters shared by the determinism tests.
+QUICK = dict(replicas=3, clients=5, warmup_s=0.15, measure_s=0.5,
+             chaos_at_s=0.1, chaos_restore_s=0.35, syn_rate=300,
+             syn_ramp_to=800, syn_ramp_s=0.4)
+
+
+def make_run(chaos="crash", **overrides):
+    from repro.cluster.run import ClusterRun
+    params = dict(QUICK)
+    params.update(overrides)
+    return ClusterRun(chaos, **params)
+
+
+def test_spec_roundtrip_and_registry():
+    run = make_run()
+    spec = run.spec()
+    assert spec["run"] == "cluster"
+    rebuilt = run_from_spec(spec)
+    assert rebuilt.spec() == spec
+    assert json.loads(json.dumps(spec)) == spec  # JSON-able
+
+
+def test_milestones_respect_chaos_kind():
+    names = [name for _, name in make_run("none").milestones()]
+    assert names == ["boot", "start_load", "begin_window", "end_window"]
+    names = [name for _, name in make_run("crash").milestones()]
+    assert names == ["boot", "start_load", "begin_window", "chaos_hit",
+                     "chaos_restore", "end_window"]
+    # A restore landing beyond the window is simply not scheduled.
+    late = make_run("crash", chaos_restore_s=99.0)
+    assert "chaos_restore" not in [n for _, n in late.milestones()]
+    # Flap restores itself via its own toggle schedule.
+    assert "chaos_restore" not in [n for _, n in
+                                   make_run("flap").milestones()]
+    ticks = [t for t, _ in make_run("crash").milestones()]
+    assert ticks == sorted(ticks)
+
+
+def test_invalid_parameters_rejected():
+    from repro.cluster.run import ClusterRun
+    with pytest.raises(ValueError):
+        ClusterRun("meteor")
+    with pytest.raises(ValueError):
+        ClusterRun("crash", replicas=2, victim=2)
+
+
+def test_crash_run_reports_failover_and_retries():
+    run = make_run()
+    result = RunDriver(run).run_all()
+    assert result.failover_latency_s is not None
+    assert 0 < result.failover_latency_s < 0.1
+    assert result.health_downs == 1 and result.health_ups == 1
+    assert result.drained_conns > 0
+    assert result.retried > 0
+    assert result.completions > 0
+    assert len(result.per_replica) == 3
+    assert all(r["link_up"] for r in result.per_replica)  # restored
+    assert result.per_replica[0]["crashes"] == 1
+
+
+def test_rebuild_digest_identical():
+    digests = []
+    for _ in range(2):
+        run = make_run()
+        RunDriver(run).run_all()
+        digests.append(run.digest())
+    assert digests[0] == digests[1]
+
+
+def test_different_seeds_diverge():
+    results = {}
+    for seed in (1, 2):
+        run = make_run(seed=seed)
+        RunDriver(run).run_all()
+        results[seed] = run.digest()
+    assert results[1] != results[2]
+
+
+def test_record_replay_fingerprint_identical():
+    from repro.snapshot.replay import record, replay
+
+    run = make_run(clients=4, syn_rate=200, measure_s=0.4,
+                   chaos_restore_s=0.25)
+    _, recording = record(run, every_events=4000)
+    report = replay(recording)
+    assert report.ok, report.divergence and report.divergence.describe()
+    assert report.events_replayed == recording.events_total
+
+
+def test_sweep_serial_and_parallel_byte_identical():
+    from repro.experiments.cluster import run_cluster
+
+    kw = dict(sizes=(1, 2), seeds=(1,), clients=4,
+              warmup_s=0.15, measure_s=0.4,
+              syn_rate=300, syn_ramp_to=600, syn_ramp_s=0.3,
+              chaos_at_s=0.1, chaos_restore_s=0.3)
+    serial = run_cluster(workers=0, **kw)
+    parallel = run_cluster(workers=2, **kw)
+    canon = lambda comp: json.dumps(
+        {str(k): v for k, v in sorted(comp.cells.items())},
+        sort_keys=True)
+    assert canon(serial) == canon(parallel)
+    assert serial.format() == parallel.format()

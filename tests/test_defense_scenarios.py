@@ -105,7 +105,9 @@ def test_degraded_outcomes_reach_client_stats():
     run, result = _run("runaway-cgi", adaptive=True, measure_s=1.5)
     stats = run.bed.stats
     summary = stats.outcome_summary("client")
-    assert set(summary) == {"aborted", "refused", "degraded"}
+    assert set(summary) == {"aborted", "refused", "degraded", "retried"}
+    # These clients carry no retry policy, so that bin stays empty.
+    assert summary["retried"] == 0
     # The windowed result can only report outcomes the stats log holds.
     assert result.degraded <= summary["degraded"]
 

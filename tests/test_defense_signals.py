@@ -167,7 +167,7 @@ def test_hot_prefixes_sorted_and_filtered():
 
 
 # ----------------------------------------------------------------------
-# Workload outcome taxonomy (aborted / refused / degraded)
+# Workload outcome taxonomy (aborted / refused / degraded / retried)
 # ----------------------------------------------------------------------
 def test_outcome_categories_are_distinct_and_timestamped():
     stats = WorkloadStats()
@@ -179,7 +179,7 @@ def test_outcome_categories_are_distinct_and_timestamped():
     assert stats.outcome_total("client", "refused") == 2
     assert stats.outcome_total("client", "degraded") == 1
     assert stats.outcome_summary("client") == {
-        "aborted": 1, "refused": 2, "degraded": 1}
+        "aborted": 1, "refused": 2, "degraded": 1, "retried": 0}
 
 
 def test_outcomes_in_window():

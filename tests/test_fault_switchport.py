@@ -1,0 +1,105 @@
+"""Per-port fault injection on a switch (satellite of the cluster PR).
+
+A :class:`FaultInjector` wrapped around one :class:`SwitchPort` must act
+as that port's private cable: both directions of that port roll the fault
+model, the rest of the switch stays clean, and the injector's counter
+contract (``forwarded + dropped == offered``) survives a link flap that
+happens mid-traffic.
+"""
+
+from repro.sim.clock import millis_to_ticks
+from repro.sim.engine import Simulator
+from repro.net.fault import FaultInjector
+from repro.net.link import NIC, Switch
+from repro.net.packet import ETHERTYPE_IP, EthFrame
+
+
+def switched_pair():
+    """Two NICs on one switch; B's port wrapped by a fault injector."""
+    sim = Simulator()
+    switch = Switch(sim)
+    inbox_a, inbox_b = [], []
+    nic_a = NIC(sim, label="host-a")
+    nic_a.on_receive = inbox_a.append
+    nic_b = NIC(sim, label="host-b")
+    nic_b.on_receive = inbox_b.append
+    switch.attach(nic_a)
+    port_b = switch.attach(nic_b)
+    injector = FaultInjector(sim, port_b)
+    injector.attach(nic_b, receive=True)
+    return sim, nic_a, nic_b, inbox_a, inbox_b, injector
+
+
+def drain(sim, ms=5.0):
+    sim.run(until=sim.now + millis_to_ticks(ms))
+
+
+def test_wrapped_port_passes_traffic_both_ways():
+    sim, nic_a, nic_b, inbox_a, inbox_b, injector = switched_pair()
+    nic_a.send(EthFrame(nic_a.mac, nic_b.mac, ETHERTYPE_IP, "a->b"))
+    drain(sim)
+    nic_b.send(EthFrame(nic_b.mac, nic_a.mac, ETHERTYPE_IP, "b->a"))
+    drain(sim)
+    assert [f.payload for f in inbox_b] == ["a->b"]
+    assert [f.payload for f in inbox_a] == ["b->a"]
+    # Ingress (b's send) and egress (delivery to b) each rolled the model.
+    assert injector.offered == 2
+    assert injector.forwarded == 2
+    assert injector.dropped == 0
+
+
+def test_link_flap_through_switch_counter_contract():
+    sim, nic_a, nic_b, inbox_a, inbox_b, injector = switched_pair()
+    # Teach the switch both MACs so nothing below depends on flooding.
+    nic_a.send(EthFrame(nic_a.mac, nic_b.mac, ETHERTYPE_IP, "learn-a"))
+    drain(sim)
+    nic_b.send(EthFrame(nic_b.mac, nic_a.mac, ETHERTYPE_IP, "learn-b"))
+    drain(sim)
+    before_b = len(inbox_b)
+    before_a = len(inbox_a)
+
+    injector.set_link(False)
+    for i in range(4):
+        nic_a.send(EthFrame(nic_a.mac, nic_b.mac, ETHERTYPE_IP, f"down{i}"))
+    for i in range(3):
+        nic_b.send(EthFrame(nic_b.mac, nic_a.mac, ETHERTYPE_IP, f"up{i}"))
+    drain(sim)
+    # Nothing crossed the downed port, in either direction.
+    assert len(inbox_b) == before_b
+    assert len(inbox_a) == before_a
+    assert injector.flap_drops == 7
+    assert injector.link_flaps == 1
+
+    injector.set_link(True)
+    nic_a.send(EthFrame(nic_a.mac, nic_b.mac, ETHERTYPE_IP, "after"))
+    drain(sim)
+    assert inbox_b[-1].payload == "after"
+
+    stats = injector.stats()
+    assert stats["forwarded"] + stats["dropped"] == stats["offered"]
+    assert stats["dropped"] == stats["flap_drops"] == 7
+
+
+def test_unwrapped_port_is_unaffected_by_neighbour_flap():
+    sim = Simulator()
+    switch = Switch(sim)
+    inboxes = [[], [], []]
+    nics = []
+    for i in range(3):
+        nic = NIC(sim, label=f"host-{i}")
+        nic.on_receive = inboxes[i].append
+        nics.append(nic)
+    switch.attach(nics[0])
+    switch.attach(nics[1])
+    port2 = switch.attach(nics[2])
+    injector = FaultInjector(sim, port2)
+    injector.attach(nics[2], receive=True)
+
+    injector.set_link(False)
+    # 0 -> 1 must still flow while 2's port is dark.
+    nics[0].send(EthFrame(nics[0].mac, nics[1].mac, ETHERTYPE_IP, "ok"))
+    drain(sim)
+    assert [f.payload for f in inboxes[1]] == ["ok"]
+    assert inboxes[2] == []
+    stats = injector.stats()
+    assert stats["forwarded"] + stats["dropped"] == stats["offered"]
