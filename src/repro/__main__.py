@@ -30,7 +30,13 @@ Subcommands:
   regression;
 * ``record`` / ``replay`` — deterministic-replay tooling: record a run's
   event-level fingerprint journal, then re-execute and pinpoint the first
-  divergent event (exit 1 on divergence).
+  divergent event (exit 1 on divergence);
+* ``resilience`` — the fault-space campaign runner: ``explore`` samples
+  seeded fault schedules against the chaos/defense/cluster targets, fans
+  them over the worker pool (crash-resumable via ``--cache-dir``), and
+  delta-debugs every failure to a certified 1-minimal reproducer;
+  ``minimize`` shrinks one case; ``corpus`` replays the banked regression
+  corpus exactly (exit 1 on any fingerprint or digest drift).
 """
 
 from __future__ import annotations
@@ -692,6 +698,130 @@ def replay_main(argv) -> int:
     return 1
 
 
+def resilience_main(argv) -> int:
+    """The fault-space campaign runner (explore / minimize / corpus)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro resilience",
+        description="Explore the fault space against the replayable run "
+                    "targets, shrink failures to 1-minimal reproducers, "
+                    "and replay the banked regression corpus.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_target(p):
+        p.add_argument("--target", "-t", default="chaos",
+                       choices=["chaos", "defense", "cluster"],
+                       help="which replayable run kind to stress")
+        p.add_argument("--seed", "-n", type=int, default=7,
+                       help="campaign seed (default 7); the same "
+                            "target+seed+budget always samples the same "
+                            "cases")
+
+    p_explore = sub.add_parser(
+        "explore", help="sample and grade a budget of fault schedules")
+    add_target(p_explore)
+    p_explore.add_argument("--budget", "-b", type=int, default=50,
+                           help="number of cases to sample (default 50)")
+    p_explore.add_argument("--intensity", default=None, metavar="K=V,...",
+                           help="base intensity multipliers, e.g. "
+                                "rate=2,magnitude=1.5,duration=2")
+    p_explore.add_argument("--workers", "-j", type=int, default=0,
+                           help="fan cases over N worker processes "
+                                "(results byte-identical to serial)")
+    p_explore.add_argument("--cache-dir", default=None,
+                           help="persist finished verdicts here and "
+                                "resume an interrupted campaign")
+    p_explore.add_argument("--no-minimize", action="store_true",
+                           help="report failures without shrinking them")
+    p_explore.add_argument("--max-tests", type=int, default=400,
+                           help="oracle-run budget per minimization")
+    p_explore.add_argument("--bank", default=None, metavar="DIR",
+                           help="bank minimized reproducers into this "
+                                "corpus directory")
+    p_explore.add_argument("--quiet", action="store_true",
+                           help="suppress progress lines (final report "
+                                "only)")
+
+    p_min = sub.add_parser(
+        "minimize", help="shrink one failing sampled case")
+    add_target(p_min)
+    p_min.add_argument("--case-file", default=None,
+                       help="minimize the case in this JSON file instead "
+                            "of sampling one from target+seed")
+    p_min.add_argument("--max-tests", type=int, default=400)
+    p_min.add_argument("--output", "-o", default=None,
+                       help="write the minimized case as JSON")
+
+    p_corpus = sub.add_parser(
+        "corpus", help="replay the banked regression corpus exactly")
+    p_corpus.add_argument("--corpus-dir", default=None,
+                          help="corpus directory (default: "
+                               "./corpus/ESCORP-1)")
+    args = parser.parse_args(argv)
+
+    from repro.resilience import (Minimizer, default_corpus_dir, explore,
+                                  load_entries, replay_corpus)
+
+    if args.command == "explore":
+        intensity = None
+        if args.intensity:
+            try:
+                intensity = {k.strip(): float(v) for k, v in
+                             (pair.split("=", 1)
+                              for pair in args.intensity.split(","))}
+            except ValueError:
+                print(f"bad --intensity {args.intensity!r} "
+                      f"(want rate=2,magnitude=1.5)", file=sys.stderr)
+                return 2
+        report = explore(args.target, args.seed, args.budget,
+                         workers=args.workers, intensity=intensity,
+                         cache_dir=args.cache_dir,
+                         minimize=not args.no_minimize,
+                         max_tests=args.max_tests, bank_dir=args.bank,
+                         log=None if args.quiet else print)
+        print(report.format())
+        return 1 if report.failures else 0
+
+    if args.command == "minimize":
+        import json as _json
+        if args.case_file:
+            with open(args.case_file) as fh:
+                payload = _json.load(fh)
+            case = payload.get("case", payload)
+        else:
+            from repro.resilience import FaultSpace
+            case = FaultSpace(args.target).sample(args.seed)
+        try:
+            result = Minimizer(case, max_tests=args.max_tests,
+                               log=print).run()
+        except ValueError as exc:
+            print(exc)
+            return 2
+        print(result.summary())
+        for entry in result.case["entries"]:
+            print(f"  {entry}")
+        if args.output:
+            with open(args.output, "w") as fh:
+                _json.dump({"case": result.case,
+                            "fingerprint": result.fingerprint,
+                            "one_minimal": result.one_minimal},
+                           fh, sort_keys=True, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.output}")
+        return 0
+
+    corpus_dir = args.corpus_dir or default_corpus_dir()
+    entries = load_entries(corpus_dir)
+    if not entries:
+        print(f"no corpus entries under {corpus_dir}")
+        return 2
+    print(f"replaying {len(entries)} corpus entr"
+          f"{'y' if len(entries) == 1 else 'ies'} from {corpus_dir}:")
+    outcomes = replay_corpus(corpus_dir, log=print)
+    bad = [o for o in outcomes if not o.ok]
+    print(f"{len(outcomes) - len(bad)}/{len(outcomes)} replayed exactly")
+    return 1 if bad else 0
+
+
 _SUBCOMMANDS = {
     "chaos": chaos_main,
     "experiment": experiment_main,
@@ -705,6 +835,7 @@ _SUBCOMMANDS = {
     "bench": bench_main,
     "record": record_main,
     "replay": replay_main,
+    "resilience": resilience_main,
 }
 
 

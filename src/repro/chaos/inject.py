@@ -16,6 +16,9 @@ each event fires at its scheduled simulated time and perturbs one layer —
 * ``clock-skew`` — the softclock runs at a scaled period;
 * ``link-flap`` — the attached network :class:`FaultInjector` takes the
   link down for the event's duration;
+* ``net-degrade`` — the attached injector's drop/reorder/corrupt
+  probabilities spike for the event's duration (the generated-schedule
+  analogue of a congested or dirty wire);
 * ``domain-crash`` — the named protection domain is destroyed outright,
   taking every crossing path with it.
 
@@ -40,6 +43,7 @@ from repro.chaos.schedule import (
     IOBUF_FAIL,
     LINK_FLAP,
     MODULE_EXCEPTION,
+    NET_DEGRADE,
     PAGE_PRESSURE,
     STUCK_THREAD,
     FaultEvent,
@@ -82,6 +86,9 @@ class ChaosInjector:
         self._orig_iobuf_alloc = None
         self._stuck_domains: List = []
         self._ballast: List[Owner] = []
+        # Pre-arm network fault probabilities (restored by disarm).
+        self._net_baseline = None
+        self._disarmed = False
 
     # ------------------------------------------------------------------
     def arm(self) -> None:
@@ -89,6 +96,10 @@ class ChaosInjector:
         if self._armed:
             raise EscortError("chaos injector already armed")
         self._armed = True
+        if self.fault_injector is not None:
+            self._net_baseline = (self.fault_injector.drop_probability,
+                                  self.fault_injector.reorder_probability,
+                                  self.fault_injector.corrupt_probability)
         # Chaos without containment would crash the simulator on the first
         # injected exception; a real Escort kernel always contains.
         self.kernel.enable_fault_containment()
@@ -98,6 +109,7 @@ class ChaosInjector:
 
     def disarm(self) -> None:
         """Restore patched kernel/module entry points and free ballast."""
+        self._disarmed = True
         for name, orig in self._patched_forward.items():
             self.server.graph.find(name).forward = orig
         self._patched_forward.clear()
@@ -112,6 +124,10 @@ class ChaosInjector:
         self.kernel.softclock.period_scale = 1.0
         if self.fault_injector is not None:
             self.fault_injector.set_link(True)
+            if self._net_baseline is not None:
+                (self.fault_injector.drop_probability,
+                 self.fault_injector.reorder_probability,
+                 self.fault_injector.corrupt_probability) = self._net_baseline
 
     # ------------------------------------------------------------------
     def _fire(self, ev: FaultEvent) -> None:
@@ -122,6 +138,7 @@ class ChaosInjector:
             STUCK_THREAD: self._inject_stuck_thread,
             CLOCK_SKEW: self._inject_clock_skew,
             LINK_FLAP: self._inject_link_flap,
+            NET_DEGRADE: self._inject_net_degrade,
             DOMAIN_CRASH: self._inject_domain_crash,
         }[ev.kind]
         handler(ev)
@@ -256,6 +273,38 @@ class ChaosInjector:
         self._note(f"link down for {ev.duration_s:.3f}s")
         self._after(ev.duration_s,
                     lambda: self.fault_injector.set_link(True))
+
+    def _inject_net_degrade(self, ev: FaultEvent) -> None:
+        """Raise the attached injector's drop/reorder/corrupt rates.
+
+        ``magnitude`` in (0, 1] scales a fixed ceiling per dimension; the
+        pre-event probabilities are restored when the window ends, so
+        overlapping windows compose last-writer-wins (deterministically —
+        all restores are simulator events).
+        """
+        inj = self.fault_injector
+        if inj is None:
+            self._skip(NET_DEGRADE, "no network FaultInjector attached")
+            return
+        m = min(max(ev.magnitude, 0.0), 1.0)
+        saved = (inj.drop_probability, inj.reorder_probability,
+                 inj.corrupt_probability)
+        inj.drop_probability = max(inj.drop_probability, 0.35 * m)
+        inj.reorder_probability = max(inj.reorder_probability, 0.25 * m)
+        inj.corrupt_probability = max(inj.corrupt_probability, 0.20 * m)
+        self._count(NET_DEGRADE)
+        self._note(f"net degraded (drop={inj.drop_probability:.2f}, "
+                   f"reorder={inj.reorder_probability:.2f}, "
+                   f"corrupt={inj.corrupt_probability:.2f}) "
+                   f"for {ev.duration_s:.3f}s")
+
+        def restore() -> None:
+            if self._disarmed:
+                return  # disarm already restored the pre-arm baseline
+            (inj.drop_probability, inj.reorder_probability,
+             inj.corrupt_probability) = saved
+
+        self._after(ev.duration_s, restore)
 
     def _inject_domain_crash(self, ev: FaultEvent) -> None:
         pd = next((d for d in self.kernel.domains

@@ -160,25 +160,38 @@ class ChaosRun:
     bed: Optional[Testbed] = None
 
     def __init__(self, scenario, seed: int = 1, *,
-                 use_rollback: bool = False):
+                 use_rollback: bool = False,
+                 schedule: Optional[FaultSchedule] = None):
         if isinstance(scenario, str):
             scenario = SCENARIOS[scenario]
         self.scenario = scenario
         self.seed = seed
         self.use_rollback = use_rollback
+        #: Explicit fault schedule overriding the scenario's generator.
+        #: This is how the resilience campaign runs *generated* schedules
+        #: against a canned scenario's testbed: the schedule rides in the
+        #: spec, so the run stays a pure function of its spec.
+        self.schedule = schedule
         self.report: Optional[ChaosReport] = None
         self.snapshotter = None
         self.tracer = None
 
     # -- spec -----------------------------------------------------------
     def spec(self) -> Dict:
-        return {"run": self.KIND, "scenario": self.scenario.name,
-                "seed": self.seed, "rollback": self.use_rollback}
+        out = {"run": self.KIND, "scenario": self.scenario.name,
+               "seed": self.seed, "rollback": self.use_rollback}
+        if self.schedule is not None:
+            out["schedule"] = self.schedule.to_jsonable()
+        return out
 
     @classmethod
     def from_spec(cls, spec: Dict) -> "ChaosRun":
+        schedule = None
+        if spec.get("schedule") is not None:
+            schedule = FaultSchedule.from_jsonable(spec["schedule"])
         return cls(spec["scenario"], spec["seed"],
-                   use_rollback=bool(spec.get("rollback", False)))
+                   use_rollback=bool(spec.get("rollback", False)),
+                   schedule=schedule)
 
     # -- build + timeline ----------------------------------------------
     def build(self) -> None:
@@ -232,8 +245,9 @@ class ChaosRun:
         self.watchdog.start()
         self.checker = InvariantChecker(kernel)
         self.checker.start(period_s=0.05)
-        self.chaos = ChaosInjector(bed.server,
-                                   sc.make_schedule(self.seed, sc.chaos_s),
+        schedule = (self.schedule if self.schedule is not None
+                    else sc.make_schedule(self.seed, sc.chaos_s))
+        self.chaos = ChaosInjector(bed.server, schedule,
                                    fault_injector=self.net_injector)
         self.chaos.arm()
 

@@ -23,9 +23,16 @@ STUCK_THREAD = "stuck-thread"           # a domain thread stops yielding
 CLOCK_SKEW = "clock-skew"               # softclock runs slow/fast
 LINK_FLAP = "link-flap"                 # the wire goes dark
 DOMAIN_CRASH = "domain-crash"           # a protection domain dies outright
+NET_DEGRADE = "net-degrade"             # drop/reorder/corrupt rates spike
 
 ALL_FAULT_KINDS = (MODULE_EXCEPTION, PAGE_PRESSURE, IOBUF_FAIL,
                    STUCK_THREAD, CLOCK_SKEW, LINK_FLAP, DOMAIN_CRASH)
+
+#: What the resilience campaign generator may draw from: the canned kinds
+#: plus the network-degradation window (kept out of ALL_FAULT_KINDS so
+#: pre-existing ``FaultSchedule.random`` seeds keep producing the same
+#: schedules they always did).
+GENERATOR_FAULT_KINDS = ALL_FAULT_KINDS + (NET_DEGRADE,)
 
 #: Modules whose forward path random schedules may break (leaf-ish modules
 #: on the active-path chain — exceptions here hit one connection, which is
@@ -58,6 +65,26 @@ class FaultEvent:
             parts.append(f"x{self.magnitude:g}")
         return " ".join(parts)
 
+    # -- serialization (the resilience campaign's wire format) ----------
+    def to_jsonable(self) -> Dict:
+        """A plain dict round-trippable through JSON."""
+        return {"at_s": self.at_s, "kind": self.kind, "target": self.target,
+                "duration_s": self.duration_s, "magnitude": self.magnitude}
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict) -> "FaultEvent":
+        return cls(at_s=float(payload["at_s"]), kind=payload["kind"],
+                   target=payload.get("target", ""),
+                   duration_s=float(payload.get("duration_s", 0.0)),
+                   magnitude=float(payload.get("magnitude", 1.0)))
+
+    def replaced(self, **changes) -> "FaultEvent":
+        """A copy with ``changes`` applied (the mutation hook shrinking
+        uses to reduce one parameter at a time)."""
+        fields = self.to_jsonable()
+        fields.update(changes)
+        return FaultEvent(**fields)
+
 
 class FaultSchedule:
     """An ordered, replayable list of fault events plus its seed.
@@ -87,6 +114,41 @@ class FaultSchedule:
         lines = [f"fault schedule (seed={self.seed}, {len(self.events)} events)"]
         lines += [f"  {ev.describe()}" for ev in self.events]
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization + mutation hooks (what makes generated schedules
+    # first-class run specs and delta-debuggable)
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict:
+        """A plain JSON-able payload; ``from_jsonable`` inverts it."""
+        return {"seed": self.seed,
+                "events": [ev.to_jsonable() for ev in self.events]}
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict) -> "FaultSchedule":
+        return cls([FaultEvent.from_jsonable(e) for e in payload["events"]],
+                   seed=int(payload.get("seed", 0)))
+
+    def without(self, indices) -> "FaultSchedule":
+        """A new schedule with the events at ``indices`` removed.
+
+        Indices refer to the sorted event order (what ``__iter__`` yields);
+        the schedule's seed — and therefore the probabilistic injector
+        streams — is preserved, so deleting an event changes exactly the
+        faults that event caused plus the RNG rolls it consumed.
+        """
+        drop = set(indices)
+        return FaultSchedule(
+            [ev for i, ev in enumerate(self.events) if i not in drop],
+            seed=self.seed)
+
+    def with_event(self, index: int, **changes) -> "FaultSchedule":
+        """A new schedule with event ``index`` replaced field-wise (the
+        per-entry shrinking hook: reduce a magnitude, shorten a duration,
+        move a fault earlier)."""
+        events = list(self.events)
+        events[index] = events[index].replaced(**changes)
+        return FaultSchedule(events, seed=self.seed)
 
     # ------------------------------------------------------------------
     @classmethod

@@ -256,7 +256,19 @@ class Kernel:
         destructor functions run).  Kernel- and idle-owned threads, and
         threads of the privileged domain, are never contained this way —
         such a fault is recorded and, when a watchdog is attached, logged.
+
+        Only *simulated* faults are absorbed: the :class:`EscortError`
+        family (every kernel error plus the chaos layer's injected
+        :class:`~repro.chaos.inject.ChaosFault`) and
+        :class:`~repro.sim.cpu.ThreadKilled`.  Anything else — a genuine
+        bug in harness or module code — is recorded by the CPU and
+        re-raised, so a resilience campaign cannot mistake a crashed
+        simulator for a survived fault.
         """
+        from repro.kernel.errors import EscortError
+        from repro.sim.cpu import ThreadKilled
+
+        self.cpu.containable_exceptions = (EscortError, ThreadKilled)
         self.cpu.on_thread_fault = self._handle_thread_fault
 
     def _handle_thread_fault(self, thread: SimThread, exc: BaseException) -> None:

@@ -205,11 +205,28 @@ class FaultInjector(Medium):
             held[0](held[1])
 
     # ------------------------------------------------------------------
+    def assert_contract(self) -> None:
+        """Enforce the counter contract: every offered frame is counted in
+        exactly one of ``forwarded`` / ``dropped``.
+
+        Cheap (three integer reads), so callers — and :meth:`stats` —
+        check it on every inspection; the chaos grammar composes reorder,
+        corruption, duplication and flaps in ways the canned scenarios
+        never did, and a frame double-counted (or lost track of) under
+        such a combination must fail loudly, not skew a campaign verdict.
+        """
+        if self.forwarded + self.dropped != self.offered:
+            raise AssertionError(
+                f"FaultInjector counter contract violated: forwarded "
+                f"{self.forwarded} + dropped {self.dropped} != offered "
+                f"{self.offered}")
+
     def stats(self) -> dict:
         """Injection counters (for assertions and reports).
 
-        Invariant: ``forwarded + dropped == offered``.
+        Invariant: ``forwarded + dropped == offered`` (checked here).
         """
+        self.assert_contract()
         return {"offered": self.offered,
                 "dropped": self.dropped,
                 "forwarded": self.forwarded,

@@ -244,6 +244,16 @@ def cluster_cell(chaos: str, replicas: int, adaptive: bool, seed: int,
 
 
 # ----------------------------------------------------------------------
+# Resilience campaign cell
+# ----------------------------------------------------------------------
+@cell_runner("resilience")
+def resilience_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """One campaign case: execute a run spec, return its oracle verdict."""
+    from repro.resilience.oracle import evaluate_spec
+    return evaluate_spec(spec)
+
+
+# ----------------------------------------------------------------------
 # Chaos matrix cell
 # ----------------------------------------------------------------------
 @cell_runner("chaos")

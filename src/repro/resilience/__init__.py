@@ -1,0 +1,36 @@
+"""Resilience campaigns: explore the fault space, shrink what breaks.
+
+The chaos scenarios, the defense matrix, and the cluster harness each
+exercise hand-picked fault schedules.  This package turns them into
+*targets* of a seeded search:
+
+* :mod:`repro.resilience.space` — a grammar that samples structured fault
+  schedules (per-target entry kinds, per-dimension intensity knobs) and
+  maps them onto replayable run specs;
+* :mod:`repro.resilience.oracle` — runs one spec and grades it against
+  the invariant suite plus liveness checks, returning a deterministic
+  failure fingerprint;
+* :mod:`repro.resilience.campaign` — fans sampled cases over the sweep
+  pool with crash-safe resume, then hands failures to the minimizer;
+* :mod:`repro.resilience.minimize` — delta-debugs a failing schedule to
+  a certified 1-minimal reproducer and shrinks its parameters;
+* :mod:`repro.resilience.corpus` — the versioned on-disk regression
+  corpus (``corpus/ESCORP-1``) that CI replays exactly.
+
+CLI: ``python -m repro resilience {explore,minimize,corpus}``.
+"""
+
+from repro.resilience.space import FaultSpace, case_to_spec, sample_case
+from repro.resilience.oracle import evaluate_case, evaluate_spec
+from repro.resilience.minimize import Minimizer
+from repro.resilience.campaign import explore
+from repro.resilience.corpus import (CORPUS_FORMAT, default_corpus_dir,
+                                     load_entries, replay_corpus, save_entry)
+
+__all__ = [
+    "FaultSpace", "sample_case", "case_to_spec",
+    "evaluate_case", "evaluate_spec",
+    "Minimizer", "explore",
+    "CORPUS_FORMAT", "default_corpus_dir", "load_entries",
+    "replay_corpus", "save_entry",
+]

@@ -1,0 +1,118 @@
+"""The campaign oracle: run one spec, grade it, fingerprint failures.
+
+A **verdict** is a JSON-able dict::
+
+    {"ok": bool, "failures": [rule, ...], "digest": str,
+     "events": int, "detail": str}
+
+``failures`` is the sorted set of failed rule names — the *fingerprint*
+the minimizer preserves while shrinking, so a schedule never slips from
+one bug onto a different one mid-minimization.
+
+What counts as a failure:
+
+* ``invariant:<rule>`` — any :class:`~repro.chaos.invariants.Violation`,
+  from the live checker a chaos run carries or from the post-run
+  structural sweep the oracle performs on defense/cluster kernels;
+* ``service-dead`` / ``no-probe-completions`` — a chaos run's service
+  never answered its fresh probe clients;
+* ``no-goodput`` — a defense/cluster window completed zero legitimate
+  requests;
+* ``run-crash:<ExcType>`` — the run raised.  Containment is narrowed to
+  the simulated fault families (see ``Kernel.enable_fault_containment``),
+  so this is a genuine harness/module bug surfacing, and — the runs
+  being pure functions of their specs — it reproduces deterministically.
+
+Deliberately **not** a failure: a chaos report's ``ok=False`` due to a
+missing watchdog recovery cycle.  Mild generated schedules legitimately
+never wake the watchdog; grading them as failures would drown the
+campaign in non-bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.resilience.space import case_to_spec
+
+
+def _structural_sweep(kernel) -> List[str]:
+    """Post-run invariant sweep of one kernel (defense/cluster targets).
+
+    The checker attaches *after* the run, so its cycle-conservation
+    baseline is the final counters (trivially consistent); what it audits
+    here is structure: pages charged to dead owners, orphan events and
+    threads, locks on freed IOBuffers.
+    """
+    from repro.chaos.invariants import InvariantChecker
+
+    checker = InvariantChecker(kernel)
+    return [f"invariant:{v.rule}" for v in checker.check_now()]
+
+
+def _grade_chaos(run, report) -> Tuple[List[str], str]:
+    failures = {f"invariant:{v.rule}" for v in report.violations}
+    if not report.service_alive:
+        failures.add("service-dead")
+    if report.completions_after == 0:
+        failures.add("no-probe-completions")
+    return sorted(failures), report.summary()
+
+
+def _grade_defense(run, result) -> Tuple[List[str], str]:
+    failures = set(_structural_sweep(run.bed.server.kernel))
+    if result.completions == 0:
+        failures.add("no-goodput")
+    detail = (f"goodput {result.goodput_cps:.1f} cps, "
+              f"{result.completions} completed, {result.refused} refused, "
+              f"ladder={result.ladder}")
+    return sorted(failures), detail
+
+
+def _grade_cluster(run, result) -> Tuple[List[str], str]:
+    failures = set()
+    for replica in run.bed.replicas:
+        failures.update(_structural_sweep(replica.server.kernel))
+    if result.completions == 0:
+        failures.add("no-goodput")
+    detail = (f"goodput {result.goodput_cps:.1f} cps, "
+              f"{result.completions} completed, "
+              f"health downs/ups {result.health_downs}/{result.health_ups}")
+    return sorted(failures), detail
+
+
+_GRADERS = {"chaos": _grade_chaos, "defense": _grade_defense,
+            "cluster": _grade_cluster}
+
+
+def evaluate_spec(spec: Dict) -> Dict:
+    """Execute one run spec and return its verdict.
+
+    Deterministic: the driver resets object ids before building, so the
+    same spec yields the same verdict (digest included) in any process.
+    """
+    from repro.snapshot.driver import RunDriver
+    from repro.snapshot.runs import run_from_spec
+
+    try:
+        run = run_from_spec(spec)
+        driver = RunDriver(run)
+        result = driver.run_all()
+        grade = _GRADERS.get(spec.get("run"))
+        if grade is not None:
+            failures, detail = grade(run, result)
+        else:
+            failures, detail = [], ""
+        return {"ok": not failures, "failures": failures,
+                "digest": run.digest(),
+                "events": driver.sim.events_processed,
+                "detail": detail}
+    except Exception as exc:  # a crashed run is itself a (replayable) finding
+        return {"ok": False,
+                "failures": [f"run-crash:{type(exc).__name__}"],
+                "digest": "", "events": 0, "detail": repr(exc)[:500]}
+
+
+def evaluate_case(case: Dict) -> Dict:
+    """Map a case to its spec and evaluate it."""
+    return evaluate_spec(case_to_spec(case))

@@ -214,6 +214,16 @@ class CPU:
         #: it, so the hook may reclaim the thread's owner safely.
         self.on_thread_fault: Optional[
             Callable[[SimThread, BaseException], None]] = None
+        #: Exception classes the containment hook absorbs.  Whoever installs
+        #: ``on_thread_fault`` (the kernel's ``enable_fault_containment``)
+        #: names the *simulated* fault family here; anything outside it —
+        #: a TypeError from a harness bug, say — is recorded in
+        #: ``escaped_faults`` and re-raised so campaign runs cannot
+        #: silently swallow an invariant-relevant crash as a path fault.
+        self.containable_exceptions: Tuple[type, ...] = ()
+        #: ``(thread_name, repr(exc))`` pairs for exceptions that escaped
+        #: containment (see above); surfaced by the resilience oracle.
+        self.escaped_faults: List[Tuple[str, str]] = []
         self.charge_listeners: List[Callable[[object, int], None]] = []
 
         self.current: Optional[SimThread] = None
@@ -417,6 +427,13 @@ class CPU:
                 return
             except Exception as exc:
                 if self.on_thread_fault is None:
+                    raise
+                if not isinstance(exc, self.containable_exceptions or
+                                  Exception):
+                    # Not a simulated fault: record it so post-mortems see
+                    # what happened, then let it unwind into the event loop
+                    # — a harness bug must fail the run, not kill a path.
+                    self.escaped_faults.append((thread.name, repr(exc)))
                     raise
                 self._thread_faulted(thread, exc)
                 return

@@ -161,3 +161,62 @@ def test_periodic_sweep_runs_and_stops(sim, kernel):
     checker.stop()
     sim.run(until=millis_to_ticks(20))
     assert checker.checks_run == ran
+
+
+# ----------------------------------------------------------------------
+# Edge cases: teardown racing the sweep, and the degenerate quiet run
+# ----------------------------------------------------------------------
+def test_domain_torn_down_mid_check_raises_no_false_alarms(sim, kernel):
+    # A domain destroyed *between* two sweeps stays in the checker's owner
+    # set; the sweep must treat it as legitimately dead (reclaimed, no
+    # pages, no live threads), not report phantom violations.
+    checker = InvariantChecker(kernel)
+    pd = kernel.create_domain("pd-victim")
+    kernel.allocator.alloc(pd, count=3)
+    kernel.spawn_thread(pd, spin(10**6), name="victim-worker")
+    sim.run(until=millis_to_ticks(1))
+    checker.check_now()
+    assert checker.ok, checker.report()
+
+    kernel.destroy_domain(pd)  # torn down mid-campaign
+    sim.run(until=millis_to_ticks(2))
+    checker.check_now()
+    assert checker.ok, checker.report()
+    assert pd.destroyed
+    # The dead domain is still audited: a live thread smuggled onto it
+    # (a buggy teardown that missed one) is caught as an orphan.
+    intruder = kernel.spawn_thread(make_owner("live"), spin(10**6))
+    pd.thread_list.add(intruder)
+    found = checker.check_now()
+    assert any(v.rule == "orphan-thread" for v in found)
+    pd.thread_list.discard(intruder)
+
+
+def test_domain_torn_down_during_periodic_sweep(sim, kernel):
+    # Same race, but against the self-rescheduling sweep: teardown lands
+    # between ticks of a running periodic checker.
+    checker = InvariantChecker(kernel)
+    checker.start(period_s=0.001)
+    pd = kernel.create_domain("pd-flaky")
+    kernel.spawn_thread(pd, spin(10**6), name="flaky-worker")
+    sim.run(until=millis_to_ticks(3))
+    kernel.destroy_domain(pd)
+    sim.run(until=millis_to_ticks(6))
+    checker.stop()
+    assert checker.checks_run >= 3
+    assert checker.ok, checker.report()
+
+
+def test_checker_with_zero_traffic_offered(sim, kernel):
+    # Degenerate campaign case: the fault schedule fired before any work
+    # was offered.  Nothing was charged, nothing allocated — the checker
+    # must come back clean instead of dividing into zero-traffic counters.
+    checker = InvariantChecker(kernel)
+    found = checker.check_now()
+    assert found == []
+    assert checker.ok, checker.report()
+    sim.run(until=millis_to_ticks(5))  # idle time only
+    checker.check_now()
+    assert checker.ok, checker.report()
+    assert checker.violations == []
+    assert "OK" in checker.report()

@@ -1,0 +1,73 @@
+"""Containment scope: simulated faults are absorbed, real bugs escape.
+
+``enable_fault_containment`` narrows the CPU's catch to the simulation's
+own exception families (:class:`EscortError` and its chaos subclasses,
+plus :class:`ThreadKilled`).  A genuine harness bug — an ``AttributeError``
+in module code, say — must surface as a crashed run, not be silently
+converted into an owner kill that a resilience campaign would then score
+as a survived fault.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.inject import ChaosFault
+from repro.kernel.errors import EscortError
+from repro.kernel.owner import Owner, OwnerType
+from repro.sim.clock import millis_to_ticks
+from repro.sim.cpu import Cycles
+
+
+def make_owner(name="victim"):
+    return Owner(OwnerType.PATH, name=name)
+
+
+def raising(exc, warmup_cycles=10_000):
+    def body():
+        yield Cycles(warmup_cycles)
+        raise exc
+    return body()
+
+
+def test_simulated_fault_is_contained_and_owner_killed(sim, kernel):
+    kernel.enable_fault_containment()
+    owner = make_owner()
+    kernel.spawn_thread(owner, raising(ChaosFault("injected")))
+    sim.run(until=millis_to_ticks(2))
+    assert owner.destroyed
+    assert kernel.fault_traps == 1
+    assert kernel.cpu.escaped_faults == []
+
+
+def test_escort_error_is_contained(sim, kernel):
+    kernel.enable_fault_containment()
+    owner = make_owner()
+    kernel.spawn_thread(owner, raising(EscortError("module blew up")))
+    sim.run(until=millis_to_ticks(2))
+    assert owner.destroyed
+    assert kernel.cpu.escaped_faults == []
+
+
+def test_harness_bug_escapes_containment(sim, kernel):
+    kernel.enable_fault_containment()
+    owner = make_owner()
+    kernel.spawn_thread(owner, raising(AttributeError("real bug")),
+                        name="buggy")
+    with pytest.raises(AttributeError, match="real bug"):
+        sim.run(until=millis_to_ticks(2))
+    # The escape is recorded so a campaign can fingerprint the crash.
+    assert len(kernel.cpu.escaped_faults) == 1
+    thread_name, detail = kernel.cpu.escaped_faults[0]
+    assert "AttributeError" in detail
+    # No containment kill happened for the buggy thread's owner.
+    assert not owner.destroyed
+
+
+def test_without_containment_all_faults_propagate(sim, kernel):
+    # Default kernels (no containment) keep the old behaviour: any
+    # exception out of a thread body crashes the run.
+    owner = make_owner()
+    kernel.spawn_thread(owner, raising(EscortError("boom")))
+    with pytest.raises(EscortError):
+        sim.run(until=millis_to_ticks(2))
