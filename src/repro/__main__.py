@@ -576,20 +576,31 @@ def bench_main(argv) -> int:
                              "to skip writing)")
     parser.add_argument("--skip-sweep", action="store_true",
                         help="skip the multi-worker sweep benchmark")
+    parser.add_argument("--skip-micro", action="store_true",
+                        help="skip the microbenchmark section")
     parser.add_argument("--baseline", default=None, metavar="JSON",
                         help="compare against a committed BENCH_sim.json "
-                             "and fail on event-loop regression")
+                             "and fail on events/sec regression")
     parser.add_argument("--max-regression", type=float, default=0.30,
                         metavar="FRAC",
                         help="allowed events/sec slowdown vs the baseline "
                              "(default 0.30 = 30%%)")
+    parser.add_argument("--alloc-profile", action="store_true",
+                        help="skip the benchmarks; profile allocation "
+                             "sites of one end-to-end run via tracemalloc")
     args = parser.parse_args(argv)
 
-    from repro.perf.bench import format_report, run_bench
+    from repro.perf.bench import (
+        alloc_profile, format_alloc_profile, format_report, run_bench)
+
+    if args.alloc_profile:
+        print(format_alloc_profile(alloc_profile()))
+        return 0
 
     report = run_bench(quick=args.quick,
                        output=None if args.output == "-" else args.output,
-                       skip_sweep=args.skip_sweep)
+                       skip_sweep=args.skip_sweep,
+                       skip_micro=args.skip_micro)
     print(format_report(report))
     if args.output != "-":
         print(f"wrote {args.output}")
@@ -599,34 +610,41 @@ def bench_main(argv) -> int:
 
 
 def _bench_guard(report, baseline_path: str, max_regression: float) -> int:
-    """Fail when the event-loop metric regressed past the allowance.
+    """Fail when an events/sec headline regressed past the allowance.
 
     Wall-clock benchmarks are noisy across machines, so the guard only
-    compares the events/sec headline and only in the slower direction;
-    the committed baseline stays put until someone deliberately re-bases
-    it with ``python -m repro bench -o BENCH_sim.json``.
+    compares the events/sec headlines (event loop, and end-to-end when
+    the baseline carries one) and only in the slower direction; the
+    committed baseline stays put until someone deliberately re-bases it
+    with ``python -m repro bench -o BENCH_sim.json``.
     """
     import json
 
     try:
         with open(baseline_path) as fh:
             baseline = json.load(fh)
-        base_eps = baseline["event_loop"]["events_per_sec"]
+        baseline["event_loop"]["events_per_sec"]
     except (OSError, KeyError, ValueError) as exc:
         print(f"error: cannot read baseline {baseline_path}: {exc}",
               file=sys.stderr)
         return 2
-    cur_eps = report["event_loop"]["events_per_sec"]
-    floor = base_eps * (1.0 - max_regression)
-    verdict = "OK" if cur_eps >= floor else "REGRESSION"
-    print(f"bench guard: event loop {cur_eps:,.0f} events/s vs baseline "
-          f"{base_eps:,.0f} (floor {floor:,.0f} at "
-          f"-{max_regression:.0%}): {verdict}")
-    if cur_eps < floor:
-        print(f"FAIL: event loop slowed more than {max_regression:.0%} "
-              f"vs {baseline_path}", file=sys.stderr)
-        return 1
-    return 0
+    failed = False
+    for section, label in (("event_loop", "event loop"),
+                           ("end_to_end", "end-to-end")):
+        base = baseline.get(section, {}).get("events_per_sec")
+        if base is None:
+            continue
+        cur = report[section]["events_per_sec"]
+        floor = base * (1.0 - max_regression)
+        verdict = "OK" if cur >= floor else "REGRESSION"
+        print(f"bench guard: {label} {cur:,.0f} events/s vs baseline "
+              f"{base:,.0f} (floor {floor:,.0f} at "
+              f"-{max_regression:.0%}): {verdict}")
+        if cur < floor:
+            failed = True
+            print(f"FAIL: {label} slowed more than {max_regression:.0%} "
+                  f"vs {baseline_path}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def record_main(argv) -> int:

@@ -16,12 +16,20 @@ The cost of demultiplexing is central to two results in the paper:
 
 :meth:`Demultiplexer.classify` therefore reports both the outcome and the
 cost: modules consulted and domain switches made.
+
+Hot-path notes: demux runs once per arriving frame, so both result types
+are ``__slots__`` classes rather than dataclasses, and the two
+high-frequency result shapes are recycled — :meth:`DemuxResult.drop`
+interns one immutable instance per drop reason (flood drops produce the
+same reason string millions of times), and modules may keep a private
+CONTINUE instance alive and refresh it per packet via
+:meth:`DemuxResult.refit` (safe because ``classify`` consumes each result
+before the next demux call runs).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.path import Path
@@ -33,19 +41,22 @@ DROP = "drop"
 TO_PATH = "path"
 
 
-@dataclass
 class DemuxResult:
     """What one module's demux function decided."""
 
-    kind: str
-    #: CONTINUE: the adjacent module to consult next.
-    next_module: Optional[str] = None
-    #: CONTINUE: the (possibly re-framed) packet view handed onward.
-    view: Any = None
-    #: TO_PATH: the identified path.
-    path: Optional["Path"] = None
-    #: DROP: why (counted per reason by the driver).
-    reason: str = ""
+    __slots__ = ("kind", "next_module", "view", "path", "reason")
+
+    #: Interned immutable drop results, keyed by reason.
+    _drops: Dict[str, "DemuxResult"] = {}
+
+    def __init__(self, kind: str, next_module: Optional[str] = None,
+                 view: Any = None, path: Optional["Path"] = None,
+                 reason: str = ""):
+        self.kind = kind
+        self.next_module = next_module
+        self.view = view
+        self.path = path
+        self.reason = reason
 
     @staticmethod
     def forward(next_module: str, view: Any) -> "DemuxResult":
@@ -57,20 +68,45 @@ class DemuxResult:
 
     @staticmethod
     def drop(reason: str) -> "DemuxResult":
-        return DemuxResult(DROP, reason=reason)
+        cached = DemuxResult._drops.get(reason)
+        if cached is None:
+            cached = DemuxResult._drops[reason] = DemuxResult(
+                DROP, reason=reason)
+        return cached
+
+    def refit(self, next_module: str, view: Any) -> "DemuxResult":
+        """Re-aim a module-owned CONTINUE result at a new packet view."""
+        self.next_module = next_module
+        self.view = view
+        return self
+
+    def refit_path(self, path: "Path") -> "DemuxResult":
+        """Re-aim a module-owned TO_PATH result at a new path."""
+        self.path = path
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DemuxResult(kind={self.kind!r}, "
+                f"next_module={self.next_module!r}, path={self.path!r}, "
+                f"reason={self.reason!r})")
 
 
-@dataclass
 class Classification:
     """Outcome plus cost information for one incoming packet."""
 
-    kind: str                       # TO_PATH or DROP
-    path: Optional["Path"] = None
-    reason: str = ""
-    #: The packet view as seen by the final module (handed to the path).
-    view: Any = None
-    modules_consulted: int = 0
-    domain_switches: int = 0
+    __slots__ = ("kind", "path", "reason", "view", "modules_consulted",
+                 "domain_switches")
+
+    def __init__(self, kind: str, path: Optional["Path"] = None,
+                 reason: str = "", view: Any = None,
+                 modules_consulted: int = 0, domain_switches: int = 0):
+        self.kind = kind
+        self.path = path
+        self.reason = reason
+        #: The packet view as seen by the final module (handed to the path).
+        self.view = view
+        self.modules_consulted = modules_consulted
+        self.domain_switches = domain_switches
 
     def demux_cycles(self, kernel: "Kernel") -> int:
         """Cycle cost of this classification under ``kernel``'s config."""
@@ -86,6 +122,12 @@ class Classification:
         if self.kind == DROP:
             cycles += costs.demux_drop
         return cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Classification(kind={self.kind!r}, path={self.path!r}, "
+                f"reason={self.reason!r}, "
+                f"modules_consulted={self.modules_consulted}, "
+                f"domain_switches={self.domain_switches})")
 
 
 class Demultiplexer:
@@ -106,13 +148,20 @@ class Demultiplexer:
         consulted = 0
         switches = 0
         prev_pd = None
+        find = self.graph.find
         for _ in range(self.max_hops):
             consulted += 1
-            if prev_pd is not None and module.pd is not prev_pd:
+            pd = module.pd
+            if prev_pd is not None and pd is not prev_pd:
                 switches += 1
-            prev_pd = module.pd
+            prev_pd = pd
             result = module.demux(view)
-            if result.kind == TO_PATH:
+            kind = result.kind
+            if kind is CONTINUE or kind == CONTINUE:
+                module = find(result.next_module)
+                view = result.view
+                continue
+            if kind is TO_PATH or kind == TO_PATH:
                 path = result.path
                 if path is None or path.destroyed:
                     return Classification(DROP, reason="dead-path",
@@ -121,13 +170,9 @@ class Demultiplexer:
                 return Classification(TO_PATH, path=path, view=view,
                                       modules_consulted=consulted,
                                       domain_switches=switches)
-            if result.kind == DROP:
-                return Classification(DROP, reason=result.reason or "reject",
-                                      modules_consulted=consulted,
-                                      domain_switches=switches)
-            # CONTINUE
-            module = self.graph.find(result.next_module)
-            view = result.view
+            return Classification(DROP, reason=result.reason or "reject",
+                                  modules_consulted=consulted,
+                                  domain_switches=switches)
         return Classification(DROP, reason="demux-loop",
                               modules_consulted=consulted,
                               domain_switches=switches)

@@ -210,6 +210,44 @@ class Path(Owner):
             raise InvalidOperationError(f"{self.name} has no input queue")
         return queue
 
+    # ------------------------------------------------------------------
+    # Post-destruction cycle severing
+    # ------------------------------------------------------------------
+    def sever(self) -> None:
+        """Break internal reference cycles once the path is destroyed.
+
+        Called by ``kill_owner`` after every destroy callback and kill
+        listener has run.  A dead path's stages, queues, pool, and
+        destructor closures are unreachable from live code, but they form
+        reference cycles (path <-> stage, pool -> thread -> exit-callback
+        -> pool, destructor closures capturing the path) that refcounting
+        alone cannot reclaim — a busy SYN-flood run destroys tens of
+        thousands of paths and the resulting garbage islands turn into
+        cyclic-GC pressure on the hot path.  Severing the back-references
+        lets each island die by refcount the moment the last external
+        handle drops.
+        """
+        for stage in self.stages:
+            stage.state.clear()
+            stage.path = None  # type: ignore[assignment]
+        self.stages = []
+        self.destructors.clear()
+        pool = self.pool
+        if pool is not None:
+            self.pool = None
+            for thread in pool.threads:
+                sim_thread = thread.sim_thread
+                if sim_thread is not None and not sim_thread.alive:
+                    sim_thread._exit_callbacks.clear()
+                    sim_thread.escort = None
+            pool.threads = []
+        for queue in self.queues:
+            if queue is not None:
+                queue.closed = True
+                queue._items.clear()
+                queue._waiters.clear()
+        self.queues = [None, None, None, None]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mods = "-".join(s.module.name for s in self.stages)
         return f"<Path {self.name} [{mods}]>"

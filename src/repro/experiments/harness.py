@@ -48,9 +48,13 @@ class CycleLedger:
     def __init__(self) -> None:
         self.by_owner: Dict[Owner, int] = {}
         self.recording = False
+        self._cpu = None
 
     def attach(self, cpu) -> None:
-        cpu.charge_listeners.append(self._on_charge)
+        # The listener is only registered while recording: charges fire on
+        # every consume chunk, so an always-on listener taxes runs that
+        # never read the ledger (benchmarks, chaos campaigns).
+        self._cpu = cpu
 
     def _on_charge(self, owner, cycles: int) -> None:
         if not self.recording or owner is None:
@@ -59,9 +63,16 @@ class CycleLedger:
 
     def start(self) -> None:
         self.by_owner.clear()
+        if not self.recording and self._cpu is not None:
+            self._cpu.charge_listeners.append(self._on_charge)
         self.recording = True
 
     def stop(self) -> None:
+        if self.recording and self._cpu is not None:
+            try:
+                self._cpu.charge_listeners.remove(self._on_charge)
+            except ValueError:
+                pass
         self.recording = False
 
     # ------------------------------------------------------------------

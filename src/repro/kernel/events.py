@@ -67,9 +67,21 @@ class KernelEvent:
         self.owner.event_list.discard(self)
         self.owner.usage.events -= 1
         self.owner.usage.kmem -= EVENT_KMEM
+        # Let the softclock track its dead weight (lazy purge); stub
+        # kernels in unit tests may have no softclock.
+        softclock = getattr(self.kernel, "softclock", None)
+        if softclock is not None:
+            softclock.note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<KernelEvent {self.name} owner={self.owner.name}>"
+
+
+#: Lazy-purge thresholds, mirroring the simulator's compaction policy: a
+#: purge costs O(n), so it only runs when the wheel is non-trivial and at
+#: least half of it is cancelled dead weight.
+PURGE_MIN_WHEEL = 64
+PURGE_RATIO = 0.5
 
 
 class Softclock:
@@ -81,6 +93,10 @@ class Softclock:
         self._seq = 0
         self._running = False
         self.ticks = 0
+        #: Cancelled events still sitting in the wheel (lazy deletion).
+        self._cancelled_pending = 0
+        #: O(n) rebuilds performed to shed cancelled dead weight.
+        self.purges = 0
         #: Timer-skew knob (chaos injection): the next tick is scheduled
         #: ``period * period_scale`` ticks out.  1.0 = nominal clock.
         self.period_scale = 1.0
@@ -101,6 +117,32 @@ class Softclock:
         self._seq += 1
         heapq.heappush(self._wheel, (due, self._seq, event))
 
+    def entries(self) -> List[Tuple[int, int, str]]:
+        """Canonical view of the armed (non-cancelled) wheel entries.
+
+        Structure-independent: callers (snapshot digests, tests) see the
+        same sorted ``(due, seq, name)`` list whether or not a lazy purge
+        has run, so purging never perturbs replay fingerprints.
+        """
+        return sorted((due, seq, ev.name)
+                      for due, seq, ev in self._wheel if not ev.cancelled)
+
+    def note_cancel(self) -> None:
+        """A kernel event was cancelled; purge when dead weight dominates.
+
+        Mass cancellations (a path kill cancelling a flood of half-open
+        TCP timers) would otherwise leave the wheel mostly tombstones that
+        every tick pops one by one.
+        """
+        self._cancelled_pending += 1
+        wheel = self._wheel
+        if (len(wheel) >= PURGE_MIN_WHEEL
+                and self._cancelled_pending >= len(wheel) * PURGE_RATIO):
+            wheel[:] = [e for e in wheel if not e[2].cancelled]
+            heapq.heapify(wheel)
+            self._cancelled_pending = 0
+            self.purges += 1
+
     # ------------------------------------------------------------------
     def _schedule_tick(self) -> None:
         period = self.kernel.costs.softclock_period_ticks
@@ -116,7 +158,10 @@ class Softclock:
         due: List[KernelEvent] = []
         while self._wheel and self._wheel[0][0] <= now:
             _, _, ev = heapq.heappop(self._wheel)
-            if not ev.cancelled and not ev.owner.destroyed:
+            if ev.cancelled:
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
+            elif not ev.owner.destroyed:
                 due.append(ev)
 
         costs = self.kernel.costs

@@ -53,6 +53,10 @@ class IOBufferLock:
 class IOBuffer:
     """A page-aligned kernel buffer mappable into several domains."""
 
+    __slots__ = ("buf_id", "nbytes", "owner", "page_objs", "writer_pd",
+                 "mappings", "locks", "charged", "cached", "freed",
+                 "payload")
+
     _next_id = 1
 
     def __init__(self, nbytes: int, owner: Owner):

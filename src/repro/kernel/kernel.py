@@ -89,6 +89,10 @@ class Kernel:
         # the per-classification table once (hot path: every packet).
         self.demux_table = DemuxCostTable(self.costs,
                                           self.config.protection_domains)
+        # Accounting is likewise a boot-time decision: fold the enabled
+        # check into a precomputed per-op cost so ``acct`` is one multiply.
+        self.acct_unit = (self.costs.accounting_op
+                          if self.config.accounting else 0)
 
         self.kernel_owner = make_kernel_owner()
         self.idle_owner = make_idle_owner()
@@ -181,9 +185,7 @@ class Kernel:
         it performs an accountable operation; this is the mechanism behind
         the paper's ~8 % accounting overhead.
         """
-        if not self.config.accounting:
-            return 0
-        return ops * self.costs.accounting_op
+        return ops * self.acct_unit
 
     @property
     def pd_enabled(self) -> bool:
@@ -384,6 +386,12 @@ class Kernel:
             self.watchdog.note_kill(owner, report)
         for fn in self.kill_listeners:
             fn(owner, report)
+        # Dead paths sever their internal reference cycles so the whole
+        # island is reclaimed by refcount instead of lingering for the
+        # cyclic garbage collector (see Path.sever).
+        sever = getattr(owner, "sever", None)
+        if sever is not None:
+            sever()
         return report
 
     def destroy_domain(self, pd: ProtectionDomain) -> List[KillReport]:

@@ -78,5 +78,7 @@ class ProportionalShareScheduler(OwnerScheduler):
 
     def on_charge(self, thread: SimThread, cycles: int) -> None:
         sched = thread.owner.sched
-        tickets = max(1, sched.tickets)
+        tickets = sched.tickets
+        if tickets < 1:
+            tickets = 1
         sched.stride_pass += cycles * STRIDE1 // tickets

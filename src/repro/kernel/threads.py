@@ -37,6 +37,8 @@ class EscortThread:
     limit.
     """
 
+    __slots__ = ("kernel", "owner", "stack_count", "_joiners", "sim_thread")
+
     def __init__(self, kernel: "Kernel", owner: Owner, body: Generator,
                  name: str = "", stack_domains: int = 1):
         owner.check_alive()

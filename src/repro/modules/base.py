@@ -55,14 +55,14 @@ class Module:
         self.pd = pd
         pd.module_names.append(name)
         self.graph = None  # set by ModuleGraph.add
+        # The cost table is immutable for a kernel's lifetime; binding it
+        # here turns the per-packet ``self.costs`` chains in forward/
+        # backward/demux into a single attribute load.
+        self.costs = kernel.costs
 
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
-    @property
-    def costs(self):
-        return self.kernel.costs
-
     def acct(self, ops: int = 1) -> int:
         return self.kernel.acct(ops)
 

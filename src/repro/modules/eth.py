@@ -47,6 +47,13 @@ class EthModule(Module):
         self.tx_frames = 0
         self.drops: Dict[str, int] = {}
         self.queue_overflows = 0
+        # Per-ethertype dispatch table (ethertype -> target module name or
+        # an interned drop result), rebuilt when the graph grows; replaces
+        # the per-frame ``"x" in self.graph`` membership probes.  Modules
+        # are only ever added to a graph, so the size is a valid version.
+        self._demux_table: Dict[int, object] = {}
+        self._demux_gen = -1
+        self._fwd = DemuxResult.forward("", None)
 
     # ------------------------------------------------------------------
     # Device binding
@@ -72,6 +79,11 @@ class EthModule(Module):
             self.kernel.cpu.post_interrupt(Interrupt(
                 [(self.pd, costs.eth_rx_interrupt + demux_cycles)],
                 label=f"eth-drop:{result.reason}"))
+            # A dropped frame is dead the instant demux rejects it: hand
+            # pooled flood frames straight back to their free list.
+            pool = frame.pool
+            if pool is not None:
+                pool.release(frame)
             return
         path = result.path
 
@@ -88,15 +100,24 @@ class EthModule(Module):
             on_complete=enqueue, label="eth-rx"))
 
     def demux(self, frame: EthFrame) -> DemuxResult:
-        if frame.ethertype == ETHERTYPE_ARP:
-            if "arp" in self.graph:
-                return DemuxResult.forward("arp", frame.payload)
-            return DemuxResult.drop("no-arp")
-        if frame.ethertype == ETHERTYPE_IP:
-            if "ip" in self.graph:
-                return DemuxResult.forward("ip", frame.payload)
-            return DemuxResult.drop("no-ip")
-        return DemuxResult.drop("ethertype")
+        if self._demux_gen != len(self.graph._modules):
+            self._rebuild_demux_table()
+        target = self._demux_table.get(frame.ethertype)
+        if target.__class__ is str:
+            return self._fwd.refit(target, frame.payload)
+        if target is None:
+            return DemuxResult.drop("ethertype")
+        return target  # interned drop
+
+    def _rebuild_demux_table(self) -> None:
+        graph = self.graph
+        self._demux_table = {
+            ETHERTYPE_ARP: ("arp" if "arp" in graph
+                            else DemuxResult.drop("no-arp")),
+            ETHERTYPE_IP: ("ip" if "ip" in graph
+                           else DemuxResult.drop("no-ip")),
+        }
+        self._demux_gen = len(graph._modules)
 
     # ------------------------------------------------------------------
     # Path membership

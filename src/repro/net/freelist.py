@@ -1,0 +1,124 @@
+"""Packet free lists for the flood hot path.
+
+A SYN flood allocates three objects per spoofed SYN — a
+:class:`~repro.net.packet.TCPSegment`, an :class:`~repro.net.packet.IPDatagram`
+and an :class:`~repro.net.packet.EthFrame` — whose lifetime is a few
+simulated microseconds: attacker NIC, wire, server NIC, demux, drop.  At
+flood rates this dominates the allocator, so the attacker draws its frames
+from a free list instead and the Ethernet driver returns them when the
+demultiplexer drops the frame.
+
+Ownership contract (what makes recycling safe and replay-exact):
+
+* Only the frame's *producer* marks it poolable (``frame.pool`` is the
+  owning pool); everything else treats the attribute as opaque.
+* The frame is released exactly once, at the point its one consumer is
+  finished with it — the driver's demux-drop branch.  ``release`` clears
+  ``frame.pool`` first, so a second release of the same frame is a no-op.
+* Anything that forks the frame's lifetime strips poolability:
+  :class:`~repro.net.fault.FaultInjector` sets ``frame.pool = None`` on
+  every frame entering its fault model, because duplicates, held
+  (reordered) copies, and delayed copies alias the original object past
+  the drop point.
+* Reused objects only ever change fields the *server's* demux reads
+  (spoofed source address and port); fields any bystander NIC on the
+  broadcast segment may switch on (destination MAC/IP, ethertype) are
+  fixed per pool, so an aliased stale read is indistinguishable from the
+  unpooled run — scheduling, digests and replay fingerprints are
+  byte-identical with pooling on or off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.packet import (
+    ETHERTYPE_IP,
+    EthFrame,
+    FLAG_SYN,
+    IPDatagram,
+    IPPROTO_TCP,
+    TCPSegment,
+)
+
+#: Free-list bound: a flood keeps only a wire's worth of frames in flight,
+#: so a small cap captures the steady state without hoarding memory.
+SYN_POOL_CAP = 512
+
+#: Module-level default so A/B experiments can flip pooling globally,
+#: mirroring ``FAST_LANE_DEFAULT`` / ``TIMER_WHEEL_DEFAULT`` in the engine.
+FRAME_POOL_DEFAULT = True
+
+
+class SynFramePool:
+    """Recycles frame/datagram/segment triples for one SYN source.
+
+    The destination (server MAC/IP, port 80) is fixed at construction;
+    :meth:`acquire` only rewrites the spoofed source fields.
+    """
+
+    __slots__ = ("src_mac", "dst_mac", "dst_ip", "dst_port", "cap",
+                 "_free", "acquired", "recycled", "released")
+
+    def __init__(self, src_mac, dst_mac, dst_ip: str, dst_port: int = 80,
+                 cap: int = SYN_POOL_CAP):
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.dst_ip = dst_ip
+        self.dst_port = dst_port
+        self.cap = cap
+        self._free: List[EthFrame] = []
+        self.acquired = 0
+        self.recycled = 0
+        self.released = 0
+
+    def acquire(self, src_ip: str, src_port: int) -> EthFrame:
+        """A ready-to-send SYN frame, recycled when the free list allows."""
+        self.acquired += 1
+        if self._free:
+            self.recycled += 1
+            frame = self._free.pop()
+            dgram = frame.payload
+            seg = dgram.payload
+            # Constant-shape reset: flags/sizes/macs/destination are
+            # unchanged since construction; only the spoofed source moves.
+            seg.src_port = src_port
+            dgram.src_ip = src_ip
+            frame.pool = self
+            return frame
+        seg = TCPSegment(src_port, self.dst_port, seq=0, ack=0,
+                         flags=FLAG_SYN)
+        dgram = IPDatagram(src_ip, self.dst_ip, IPPROTO_TCP, seg)
+        frame = EthFrame(self.src_mac, self.dst_mac, ETHERTYPE_IP, dgram)
+        frame.pool = self
+        return frame
+
+    def release(self, frame: EthFrame) -> None:
+        """Return a dead frame; double release is a structural no-op."""
+        if frame.pool is not self:
+            return
+        frame.pool = None
+        self.released += 1
+        if len(self._free) < self.cap:
+            self._free.append(frame)
+
+    def stats(self) -> dict:
+        """Pool counters (for queue-health reporting and tests)."""
+        return {"acquired": self.acquired,
+                "recycled": self.recycled,
+                "released": self.released,
+                "free": len(self._free)}
+
+
+def strip_pool(frame: EthFrame) -> None:
+    """Remove poolability from a frame whose lifetime is being forked."""
+    pool: Optional[SynFramePool] = getattr(frame, "pool", None)
+    if pool is not None:
+        frame.pool = None
+
+
+def release_frame(frame: EthFrame) -> None:
+    """Return ``frame`` to its pool, if it has one (driver drop hook)."""
+    pool = frame.pool
+    if pool is not None:
+        pool.release(frame)

@@ -94,8 +94,11 @@ class Link(Medium):
         side = self.nics.index(sender)
         peer = self.nics[1 - side]
         self.frames += 1
-        start = max(self.sim.now, self._busy_until[side])
-        done = start + serialization_ticks(frame)
+        start = self.sim.now
+        busy = self._busy_until[side]
+        if busy > start:
+            start = busy
+        done = start + frame.wire_size * 8 * TICKS_PER_ETHERNET_BIT
         self._busy_until[side] = done
         self.sim.at(done + self.latency, lambda: peer.deliver(frame))
 
@@ -121,8 +124,10 @@ class Hub(Medium):
 
     def transmit(self, frame: EthFrame, sender: NIC) -> None:
         self.frames += 1
-        start = max(self.sim.now, self._busy_until)
-        done = start + serialization_ticks(frame)
+        start = self.sim.now
+        if self._busy_until > start:
+            start = self._busy_until
+        done = start + frame.wire_size * 8 * TICKS_PER_ETHERNET_BIT
         self._busy_until = done
         deliver_at = done + self.latency
         receivers = [n for n in self.nics if n is not sender]
@@ -192,8 +197,10 @@ class SwitchPort(Medium):
     # NIC -> switch
     def transmit(self, frame: EthFrame, sender: NIC) -> None:
         sim = self.switch.sim
-        start = max(sim.now, self._ingress_busy_until)
-        done = start + serialization_ticks(frame)
+        start = sim.now
+        if self._ingress_busy_until > start:
+            start = self._ingress_busy_until
+        done = start + frame.wire_size * 8 * TICKS_PER_ETHERNET_BIT
         self._ingress_busy_until = done
         arrive = done + self.switch.latency
         sim.at(arrive, lambda: self.switch.forward(frame, self))
@@ -204,8 +211,10 @@ class SwitchPort(Medium):
     # switch -> NIC
     def egress(self, frame: EthFrame) -> None:
         sim = self.switch.sim
-        start = max(sim.now, self._egress_busy_until)
-        done = start + serialization_ticks(frame)
+        start = sim.now
+        if self._egress_busy_until > start:
+            start = self._egress_busy_until
+        done = start + frame.wire_size * 8 * TICKS_PER_ETHERNET_BIT
         self._egress_busy_until = done
         sim.at(done + self.switch.latency,
                lambda: self.nic.deliver(frame))

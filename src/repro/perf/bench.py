@@ -261,7 +261,7 @@ def bench_sweep(worker_counts=(1, 2, 4), quick: bool = False) -> Dict:
 # Entry point
 # ----------------------------------------------------------------------
 def run_bench(quick: bool = False, output: str = "BENCH_sim.json",
-              skip_sweep: bool = False) -> Dict:
+              skip_sweep: bool = False, skip_micro: bool = False) -> Dict:
     """Run the full suite and write ``BENCH_sim.json``."""
     report = {
         "schema": SCHEMA,
@@ -280,6 +280,9 @@ def run_bench(quick: bool = False, output: str = "BENCH_sim.json",
             measure_s=0.3 if quick else 1.0,
             reps=1 if quick else 2),
     }
+    if not skip_micro:
+        from repro.perf.microbench import run_microbench
+        report["microbench"] = run_microbench(quick=quick)
     if not skip_sweep:
         report["sweep"] = bench_sweep(
             worker_counts=(1, 2) if quick else (1, 2, 4), quick=quick)
@@ -288,6 +291,61 @@ def run_bench(quick: bool = False, output: str = "BENCH_sim.json",
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
     return report
+
+
+def alloc_profile(clients: int = 4, syn_rate: int = 1000,
+                  top: int = 12) -> Dict:
+    """Profile allocation sites of one end-to-end run via tracemalloc.
+
+    Backs ``python -m repro bench --alloc-profile``.  Runs several times
+    slower than the plain bench (tracemalloc hooks every allocation), so
+    it is an on-demand diagnostic, never part of the gated suite.
+    """
+    import tracemalloc
+
+    from repro.snapshot.driver import RunDriver
+    from repro.snapshot.runs import ExperimentRun, reset_ids
+
+    reset_ids()
+    run = ExperimentRun("accounting", clients=clients, syn_rate=syn_rate,
+                        untrusted_cap=8, warmup_s=0.2, measure_s=0.3)
+    driver = RunDriver(run)
+    tracemalloc.start(10)
+    before = tracemalloc.take_snapshot()
+    driver.run_all()
+    after = tracemalloc.take_snapshot()
+    current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    events = driver.sim.events_processed
+    sites = []
+    for stat in after.compare_to(before, "lineno")[:top]:
+        frame = stat.traceback[0]
+        sites.append({
+            "site": f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno}",
+            "size_kib": round(stat.size_diff / 1024, 1),
+            "count": stat.count_diff,
+        })
+    return {
+        "events": events,
+        "peak_kib": round(peak / 1024, 1),
+        "retained_kib": round(current / 1024, 1),
+        "bytes_per_event": round(peak / max(1, events), 1),
+        "top_sites": sites,
+    }
+
+
+def format_alloc_profile(profile: Dict) -> str:
+    """Human-readable allocation-site table."""
+    lines = [f"alloc profile: {profile['events']:,} events, "
+             f"peak {profile['peak_kib']:,.0f} KiB "
+             f"({profile['bytes_per_event']:.0f} B/event), "
+             f"retained {profile['retained_kib']:,.0f} KiB",
+             f"  {'size':>10}  {'count':>9}  site"]
+    for site in profile["top_sites"]:
+        lines.append(f"  {site['size_kib']:>8,.1f}K  {site['count']:>9,}  "
+                     f"{site['site']}")
+    return "\n".join(lines)
 
 
 def format_report(report: Dict) -> str:
@@ -303,6 +361,20 @@ def format_report(report: Dict) -> str:
     lines.append(f"  end-to-end    {e2e['wall_s']:>10.3f} s     "
                  f"({e2e['events']:,} events, "
                  f"{e2e['events_per_sec']:,} ev/s)")
+    micro = report.get("microbench")
+    if micro:
+        churn = micro["timer_churn"]
+        lines.append(f"  timer churn   {churn['wheel_ops_per_sec']:>12,} op/s  "
+                     f"({churn['wheel_speedup']:.2f}x vs heap at "
+                     f"{churn['heap_ops_per_sec']:,} op/s, "
+                     f"{churn['cancelled_fraction']:.0%} cancelled)")
+        demux = micro["demux"]
+        lines.append(f"  demux         {demux['classifications_per_sec']:>12,} cls/s  "
+                     f"({demux['modules_consulted']} modules per packet)")
+        alloc = micro["alloc_rate"]
+        lines.append(f"  alloc rate    {alloc['bytes_per_event']:>12,.0f} B/ev   "
+                     f"(peak {alloc['peak_kib']:,.0f} KiB over "
+                     f"{alloc['events']:,} events)")
     sweep = report.get("sweep")
     if sweep:
         per_w = ", ".join(f"{w}w={s:.2f}s"

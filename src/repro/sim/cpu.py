@@ -128,6 +128,12 @@ class SimThread:
     provide ``runtime_limit_cycles`` (``None`` = unlimited) and ``name``.
     """
 
+    # "escort" is the kernel's backref slot (kernel.attach_thread assigns
+    # it from outside); declared here because __slots__ forbids ad-hoc
+    # attributes.
+    __slots__ = ("tid", "body", "owner", "name", "state", "burst_cycles",
+                 "_wake_value", "_exit_callbacks", "escort")
+
     _next_id = 1
 
     def __init__(self, body: Generator, owner, name: str = ""):
@@ -140,6 +146,7 @@ class SimThread:
         self.burst_cycles = 0  # consumed since last yield/block
         self._wake_value = None
         self._exit_callbacks: List[Callable[["SimThread"], None]] = []
+        self.escort = None
 
     def on_exit(self, fn: Callable[["SimThread"], None]) -> None:
         """Register ``fn`` to run when the thread finishes or is killed."""
@@ -228,8 +235,17 @@ class CPU:
 
         self.current: Optional[SimThread] = None
         self._completion_event = None
-        # In-flight consume chunk: (thread, charge_owner, total, start_tick)
-        self._chunk: Optional[Tuple[SimThread, object, int, int]] = None
+        # In-flight consume chunk:
+        # (thread, charge_owner, total, start_tick, trap, requested).
+        # At most one chunk is in flight, so its completion callback is the
+        # pre-bound method below reading this tuple — no per-chunk closure.
+        self._chunk: Optional[
+            Tuple[SimThread, object, int, int, bool, int]] = None
+        self._chunk_done_cb = self._chunk_done
+        # The interrupt whose cycle-consumption event is in flight (at most
+        # one: the service loop is strictly sequential); same pattern.
+        self._intr: Optional[Interrupt] = None
+        self._intr_done_cb = self._intr_done
         # First tick at which the pipeline is free again.  Interrupts can
         # arrive at arbitrary ticks; charging stays exact because all cycle
         # consumption is aligned to cycle boundaries from this watermark.
@@ -261,16 +277,20 @@ class CPU:
             return
         since = self._idle_since
         self._idle_since = None
-        elapsed = max(0, self.sim.now - since)
+        elapsed = self.sim.now - since
         if elapsed > 0:
             cycles = elapsed // self.tpc
             self.idle_cycles += cycles
             self._charge(self.idle_owner, cycles)
-            self._free_at = max(self._free_at, since + cycles * self.tpc)
+            end = since + cycles * self.tpc
+            if end > self._free_at:
+                self._free_at = end
 
     def _enter_idle(self) -> None:
         if self._idle_since is None:
-            self._idle_since = max(self.sim.now, self._free_at)
+            now = self.sim.now
+            free_at = self._free_at
+            self._idle_since = free_at if free_at > now else now
 
     def finalize_idle(self) -> None:
         """Flush the idle accumulator (call at the end of a measurement)."""
@@ -328,6 +348,7 @@ class CPU:
             pass
         for fn in thread._exit_callbacks:
             fn(thread)
+        self._sever_thread(thread)
         if was_current:
             self._maybe_dispatch()
 
@@ -346,11 +367,13 @@ class CPU:
         self._service_interrupts()
 
     def _preempt_current(self) -> None:
-        thread, owner, total, start = self._chunk  # type: ignore[misc]
+        thread, owner, total, start, _trap, _req = self._chunk  # type: ignore[misc]
         self._completion_event.cancel()
         self._completion_event = None
         self._chunk = None
-        elapsed = max(0, self.sim.now - start)
+        elapsed = self.sim.now - start
+        if elapsed < 0:
+            elapsed = 0
         consumed = min(total, -(-elapsed // self.tpc))  # ceil div
         self._charge(owner, consumed)
         self.busy_cycles += consumed
@@ -372,21 +395,27 @@ class CPU:
         self._in_interrupt = True
         intr = self._pending_interrupts.popleft()
         cost = intr.total_cycles()
-
-        def done() -> None:
-            for owner, cycles in intr.charges:
-                self._charge(owner, cycles)
-                self.interrupt_cycles += cycles
-            if intr.on_complete is not None:
-                intr.on_complete()
-            self._service_interrupts()
-
+        self._intr = intr
         if cost > 0:
-            base = max(self.sim.now, self._free_at)
+            now = self.sim.now
+            base = self._free_at
+            if now > base:
+                base = now
             self._free_at = base + cost * self.tpc
-            self.sim.at(self._free_at, done)
+            self.sim.at(self._free_at, self._intr_done_cb)
         else:
-            done()
+            self._intr_done()
+
+    def _intr_done(self) -> None:
+        """Charge the serviced interrupt and continue draining the queue."""
+        intr = self._intr
+        self._intr = None
+        for owner, cycles in intr.charges:
+            self._charge(owner, cycles)
+            self.interrupt_cycles += cycles
+        if intr.on_complete is not None:
+            intr.on_complete()
+        self._service_interrupts()
 
     def _finish_interrupts(self) -> None:
         self._in_interrupt = False
@@ -486,23 +515,27 @@ class CPU:
             if n > allowance:
                 n = allowance
                 trap = True
-        start = max(self.sim.now, self._free_at)
-        self._chunk = (thread, owner, n, start)
-        self._free_at = start + n * self.tpc
+        start = self.sim.now
+        if self._free_at > start:
+            start = self._free_at
+        end = start + n * self.tpc
+        self._chunk = (thread, owner, n, start, trap, requested)
+        self._free_at = end
+        self._completion_event = self.sim.at(end, self._chunk_done_cb)
 
-        def complete() -> None:
-            self._completion_event = None
-            self._chunk = None
-            self._charge(owner, n)
-            self.busy_cycles += n
-            self.scheduler.on_charge(thread, n)
-            thread.burst_cycles += n
-            if trap:
-                self._runaway(thread, owner, requested - n)
-                return
-            self._advance(thread, None)
-
-        self._completion_event = self.sim.at(start + n * self.tpc, complete)
+    def _chunk_done(self) -> None:
+        """The in-flight consume chunk ran to completion (not preempted)."""
+        thread, owner, n, _start, trap, requested = self._chunk
+        self._completion_event = None
+        self._chunk = None
+        self._charge(owner, n)
+        self.busy_cycles += n
+        self.scheduler.on_charge(thread, n)
+        thread.burst_cycles += n
+        if trap:
+            self._runaway(thread, owner, requested - n)
+            return
+        self._advance(thread, None)
 
     def _runaway(self, thread: SimThread, owner, remaining: int) -> None:
         """The thread exhausted its owner's runtime allowance.
@@ -529,6 +562,7 @@ class CPU:
         self.current = None
         for fn in thread._exit_callbacks:
             fn(thread)
+        self._sever_thread(thread)
         self._maybe_dispatch()
 
     def _thread_faulted(self, thread: SimThread, exc: BaseException) -> None:
@@ -539,4 +573,20 @@ class CPU:
         for fn in thread._exit_callbacks:
             fn(thread)
         self.on_thread_fault(thread, exc)
+        self._sever_thread(thread)
         self._maybe_dispatch()
+
+    @staticmethod
+    def _sever_thread(thread: SimThread) -> None:
+        """Break the exited thread's reference cycles.
+
+        Every spawned thread carries a SimThread <-> EscortThread 2-cycle
+        (the kernel's ``escort`` backref plus the escort's exit callback),
+        which refcounting cannot reclaim.  Busy runs retire tens of
+        thousands of threads, so left alone these islands become cyclic-GC
+        pressure on the event hot path.  The callbacks have all run by the
+        time this is called, and ``escort`` is a kernel-lookup convenience
+        with no post-exit readers.
+        """
+        thread._exit_callbacks = []
+        thread.escort = None

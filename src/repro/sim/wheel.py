@@ -1,0 +1,334 @@
+"""A hierarchical timing wheel: the cancellable-timer front end of the engine.
+
+The simulator's heap is perfect for the *near* future — the next few events
+pop in strict ``(time, seq)`` order with C-level tuple comparisons — but it
+is a poor home for the timer class of event: TCP retransmit and delayed-ACK
+timers, health probes, softclock ticks.  Those are scheduled far ahead and
+then usually *cancelled* before they fire, so each one costs a heap sift on
+the way in and leaves a lazily-deleted corpse that later costs a sift on
+the way out (or a compaction pass).  A timing wheel (Varghese & Lauck's
+hashed hierarchical wheel) makes both directions O(1): scheduling appends
+to a slot bucket, and a cancelled timer is simply skipped — its bucket is
+dropped wholesale when the clock sweeps past, so it never touches the heap
+at all.
+
+Determinism is preserved by making the wheel a *deferral* stage, not a
+second ordering authority.  Entries are ``(time, seq, event)`` triples —
+the same keys the heap sorts — and the wheel never fires anything itself:
+when the engine is about to execute an event at time ``T`` it first *pours*
+every wheel slot covering times ``<= T`` into the heap, and the heap then
+interleaves poured and resident entries into the exact global ``(time,
+seq)`` order.  Pouring early is always harmless (the heap re-sorts);
+pouring late is impossible because the engine checks ``poured_until``
+before trusting the heap's head.  ``live_events()`` reads wheel residents
+alongside the heap, so state digests and replay fingerprints are
+byte-identical with the wheel on or off — ``tests/test_sim_wheel.py``
+proves that the same way the fast-lane tests prove lane-routing opacity.
+
+Geometry: level 0 has 256 slots of 4096 ticks (~6.8 us) covering ~1.75 ms;
+levels 1-3 have 64 slots each, every level 64x coarser, for a total
+horizon of 2^38 ticks (~7.6 simulated minutes).  Delays shorter than two
+slots stay on the heap (they would pour almost immediately), and times
+beyond the horizon or behind ``poured_until`` overflow to the heap as
+well; the engine makes that routing decision in ``schedule``/``at``.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+from typing import List, Tuple
+
+#: log2 of the level-0 slot width in ticks (4096 ticks ~= 6.8 us).
+GRANULARITY_BITS = 12
+#: log2 of the level-0 slot count (256 slots ~= 1.75 ms horizon).
+LEVEL0_BITS = 8
+#: log2 of the slot count of each upper level (64 slots).
+UPPER_BITS = 6
+
+_G = GRANULARITY_BITS
+_L0_SLOTS = 1 << LEVEL0_BITS
+_L0_MASK = _L0_SLOTS - 1
+_UP_SLOTS = 1 << UPPER_BITS
+_UP_MASK = _UP_SLOTS - 1
+
+#: Level-k (k >= 1) absolute-slot shift *relative to level-0 slots*:
+#: level 1 slots are 256 level-0 slots wide, each further level 64x wider.
+_SHIFT1 = LEVEL0_BITS                    # 8
+_SHIFT2 = LEVEL0_BITS + UPPER_BITS       # 14
+_SHIFT3 = LEVEL0_BITS + 2 * UPPER_BITS   # 20
+
+#: One past the last schedulable level-0 slot index (2^26 slots = 2^38 ticks).
+HORIZON_SLOTS = 1 << (LEVEL0_BITS + 3 * UPPER_BITS)
+
+#: Minimum delay for wheel placement (~3.5 simulated ms).  The wheel pays
+#: for itself on the *timer band* — retransmit, delayed-ACK, health-probe
+#: delays that are long and frequently cancelled before firing, where O(1)
+#: slot-drop beats heap lazy-deletion debt.  Short delays (CPU chunk
+#: completions, link serialization) almost always fire, in near-FIFO
+#: order, so routing them through the wheel only adds a pour step on top
+#: of the same eventual heap traffic; they stay on the heap.  Exported for
+#: the engine's routing decision.
+MIN_WHEEL_DELAY = 1 << 21
+
+
+class TimerWheel:
+    """Four-level timing wheel over ``(time, seq, event)`` heap entries.
+
+    The wheel stores events whose ``in_wheel`` flag it owns: set on
+    placement, cleared when the entry is poured into the heap.  Cancelled
+    entries are carried (their callbacks were already dropped by
+    ``Event.cancel``) and discarded at pour time; ``advance`` reports how
+    many it discarded so the engine can keep its lazy-deletion ledger
+    exact.
+    """
+
+    __slots__ = ("count", "scheduled", "poured", "cascades",
+                 "_cur0", "poured_until",
+                 "_slots0", "_slots1", "_slots2", "_slots3",
+                 "_occ0", "_occ1", "_occ2", "_occ3",
+                 "_n0", "_n1", "_n2", "_n3")
+
+    def __init__(self) -> None:
+        #: Entries currently stored, cancelled ones included.
+        self.count = 0
+        #: Lifetime counters for queue_health reporting.
+        self.scheduled = 0
+        self.poured = 0
+        self.cascades = 0
+        #: Absolute index of the next level-0 slot to pour.
+        self._cur0 = 0
+        #: Every stored entry has ``time >= poured_until``; the engine
+        #: checks this bound before trusting the heap's head, and routes
+        #: times below it straight to the heap.
+        self.poured_until = 0
+        self._slots0: List[List[Tuple]] = [[] for _ in range(_L0_SLOTS)]
+        self._slots1: List[List[Tuple]] = [[] for _ in range(_UP_SLOTS)]
+        self._slots2: List[List[Tuple]] = [[] for _ in range(_UP_SLOTS)]
+        self._slots3: List[List[Tuple]] = [[] for _ in range(_UP_SLOTS)]
+        # Per-level occupancy bitmaps (bit i == slot list i non-empty),
+        # so sweeps skip empty stretches with integer bit tricks instead
+        # of probing every slot.
+        self._occ0 = 0
+        self._occ1 = 0
+        self._occ2 = 0
+        self._occ3 = 0
+        self._n0 = 0
+        self._n1 = 0
+        self._n2 = 0
+        self._n3 = 0
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def add(self, time: int, seq: int, ev) -> bool:
+        """Store one entry; False if ``time`` lies beyond the horizon.
+
+        The caller must guarantee ``time >= poured_until`` (the engine's
+        routing check); a placed event gets ``in_wheel = True``.
+        """
+        if not self._place(time, seq, ev, self._cur0):
+            return False
+        ev.in_wheel = True
+        self.scheduled += 1
+        return True
+
+    def _place(self, time: int, seq: int, ev, cur0: int) -> bool:
+        """Slot an entry relative to base slot ``cur0``; shared with
+        cascading, which re-places a coarser slot's entries mid-sweep."""
+        s0 = time >> _G
+        d = s0 - cur0
+        if d < _L0_SLOTS:
+            idx = s0 & _L0_MASK
+            self._slots0[idx].append((time, seq, ev))
+            self._occ0 |= 1 << idx
+            self._n0 += 1
+        elif (s0 >> _SHIFT1) - (cur0 >> _SHIFT1) < _UP_SLOTS:
+            idx = (s0 >> _SHIFT1) & _UP_MASK
+            self._slots1[idx].append((time, seq, ev))
+            self._occ1 |= 1 << idx
+            self._n1 += 1
+        elif (s0 >> _SHIFT2) - (cur0 >> _SHIFT2) < _UP_SLOTS:
+            idx = (s0 >> _SHIFT2) & _UP_MASK
+            self._slots2[idx].append((time, seq, ev))
+            self._occ2 |= 1 << idx
+            self._n2 += 1
+        elif (s0 >> _SHIFT3) - (cur0 >> _SHIFT3) < _UP_SLOTS:
+            idx = (s0 >> _SHIFT3) & _UP_MASK
+            self._slots3[idx].append((time, seq, ev))
+            self._occ3 |= 1 << idx
+            self._n3 += 1
+        else:
+            return False
+        self.count += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Sweeping
+    # ------------------------------------------------------------------
+    def advance(self, to_time: int, queue: List[Tuple]) -> int:
+        """Pour every slot covering times ``<= to_time`` into ``queue``.
+
+        Live entries are heap-pushed with their original ``(time, seq)``
+        keys (the heap restores global order); cancelled entries are
+        discarded.  Returns the number discarded so the engine can move
+        them from its pending-debt to its removed-debt ledger.
+        """
+        target = (to_time >> _G) + 1
+        cur = self._cur0
+        if cur >= target:
+            return 0
+        if self.count == 0:
+            # Nothing stored at any level: no pours, no cascades.
+            self._cur0 = target
+            self.poured_until = target << _G
+            return 0
+        dropped = 0
+        slots0 = self._slots0
+        while cur < target:
+            if cur & _L0_MASK == 0:
+                self._cascade(1, cur)
+            if self._n0 == 0:
+                boundary = (cur | _L0_MASK) + 1
+                cur = boundary if boundary < target else target
+                continue
+            rel = self._occ0 >> (cur & _L0_MASK)
+            boundary = (cur | _L0_MASK) + 1
+            if rel == 0:
+                cur = boundary if boundary < target else target
+                continue
+            nxt = cur + ((rel & -rel).bit_length() - 1)
+            if nxt >= boundary or nxt >= target:
+                cur = boundary if boundary < target else target
+                continue
+            idx = nxt & _L0_MASK
+            bucket = slots0[idx]
+            slots0[idx] = []
+            self._occ0 &= ~(1 << idx)
+            n = len(bucket)
+            self._n0 -= n
+            self.count -= n
+            for entry in bucket:
+                ev = entry[2]
+                ev.in_wheel = False
+                if ev.cancelled:
+                    dropped += 1
+                else:
+                    heappush(queue, entry)
+                    self.poured += 1
+            cur = nxt + 1
+        self._cur0 = cur
+        self.poured_until = cur << _G
+        return dropped
+
+    def _cascade(self, level: int, cur0: int) -> None:
+        """Entering a new level-``level - 1`` window: re-place the level-
+        ``level`` slot covering ``cur0`` one level down (top levels first,
+        so grandparent entries trickle through their parent)."""
+        if level == 1:
+            a = cur0 >> _SHIFT1
+            if a & _UP_MASK == 0:
+                self._cascade(2, cur0)
+            idx = a & _UP_MASK
+            bucket = self._slots1[idx]
+            if not bucket:
+                return
+            self._slots1[idx] = []
+            self._occ1 &= ~(1 << idx)
+            self._n1 -= len(bucket)
+        elif level == 2:
+            a = cur0 >> _SHIFT2
+            if a & _UP_MASK == 0:
+                self._cascade(3, cur0)
+            idx = a & _UP_MASK
+            bucket = self._slots2[idx]
+            if not bucket:
+                return
+            self._slots2[idx] = []
+            self._occ2 &= ~(1 << idx)
+            self._n2 -= len(bucket)
+        else:
+            a = cur0 >> _SHIFT3
+            idx = a & _UP_MASK
+            bucket = self._slots3[idx]
+            if not bucket:
+                return
+            self._slots3[idx] = []
+            self._occ3 &= ~(1 << idx)
+            self._n3 -= len(bucket)
+        self.count -= len(bucket)
+        self.cascades += 1
+        # Cancelled entries are re-placed too: they fall through to the
+        # level-0 pour, the single point where the engine's ledger moves.
+        for time, seq, ev in bucket:
+            self._place(time, seq, ev, cur0)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def min_bound(self) -> int:
+        """Lower bound on the earliest stored entry's time.
+
+        Exact to one slot at the level holding the earliest entry; the
+        engine advances to this bound (cascading coarser levels down) and
+        re-examines.  Only called when heap and lane are empty, so it can
+        afford bit-scans.  Undefined when ``count == 0``.
+        """
+        cur0 = self._cur0
+        if self._n0:
+            base = cur0 & ~_L0_MASK
+            best = None
+            occ = self._occ0
+            while occ:
+                i = (occ & -occ).bit_length() - 1
+                occ &= occ - 1
+                a = base | i
+                if a < cur0:
+                    a += _L0_SLOTS
+                if best is None or a < best:
+                    best = a
+            return best << _G
+        for shift, occ, n in ((_SHIFT1, self._occ1, self._n1),
+                              (_SHIFT2, self._occ2, self._n2),
+                              (_SHIFT3, self._occ3, self._n3)):
+            if not n:
+                continue
+            cur = cur0 >> shift
+            base = cur & ~_UP_MASK
+            best = None
+            while occ:
+                i = (occ & -occ).bit_length() - 1
+                occ &= occ - 1
+                a = base | i
+                if a < cur:
+                    a += _UP_SLOTS
+                if best is None or a < best:
+                    best = a
+            return best << (shift + _G)
+        raise ValueError("min_bound() on an empty wheel")
+
+    def live_keys(self) -> List[Tuple[int, int]]:
+        """Unsorted ``(time, seq)`` keys of every live stored entry.
+
+        Merged (and sorted) with the heap's keys by
+        :meth:`Simulator.live_events`, which is what state digests read —
+        wheel residency is invisible to them by construction.
+        """
+        keys = []
+        for level in (self._slots0, self._slots1, self._slots2,
+                      self._slots3):
+            for bucket in level:
+                for time, seq, ev in bucket:
+                    if not ev.cancelled:
+                        keys.append((time, seq))
+        return keys
+
+    def cancelled_count(self) -> int:
+        """Cancelled entries still stored (diagnostics; O(count))."""
+        total = 0
+        for level in (self._slots0, self._slots1, self._slots2,
+                      self._slots3):
+            for bucket in level:
+                for _, _, ev in bucket:
+                    if ev.cancelled:
+                        total += 1
+        return total

@@ -195,10 +195,7 @@ def _kernel_summary(kernel) -> Dict:
         },
         "softclock": {
             "ticks": kernel.softclock.ticks,
-            "wheel": sorted(
-                (due, seq, ev.name)
-                for due, seq, ev in kernel.softclock._wheel
-                if not ev.cancelled),
+            "wheel": kernel.softclock.entries(),
         },
         "counters": {
             "runaway_traps": kernel.runaway_traps,

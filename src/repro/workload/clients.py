@@ -94,8 +94,15 @@ class ClientConnection:
             self._done = True
             self._cancel_timers()
             self.host.forget(self)
-            if self.on_closed is not None:
-                self.on_closed(actions.aborted)
+            on_closed = self.on_closed
+            # The callbacks are closures capturing this connection (see
+            # HttpClient._start_attempt), so they form reference cycles;
+            # drop them now that the connection is finished so the dead
+            # connection is reclaimed by refcount, not the cyclic GC.
+            self.on_deliver = self.on_established = None
+            self.on_fin = self.on_closed = None
+            if on_closed is not None:
+                on_closed(actions.aborted)
 
     def _cancel_timers(self) -> None:
         for ev in (self._rto_ev, self._delack_ev):

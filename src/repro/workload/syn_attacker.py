@@ -16,6 +16,8 @@ from repro.sim.clock import TICKS_PER_SECOND
 from repro.sim.costs import CostModel
 from repro.sim.engine import Simulator
 from repro.net.addressing import MacAddr, Subnet
+import repro.net.freelist as freelist
+from repro.net.freelist import SynFramePool
 from repro.net.link import NIC
 from repro.net.packet import (
     ETHERTYPE_IP,
@@ -36,7 +38,8 @@ class SynAttacker:
                  costs: Optional[CostModel] = None,
                  ramp_to: Optional[int] = None,
                  ramp_seconds: float = 0.0,
-                 spoof_hosts: int = 4094):
+                 spoof_hosts: int = 4094,
+                 frame_pool: Optional[bool] = None):
         if rate_per_second <= 0:
             raise ValueError("rate must be positive")
         self.sim = sim
@@ -58,6 +61,15 @@ class SynAttacker:
         self.ramp_to = ramp_to
         self._ramp_ticks = int(ramp_seconds * TICKS_PER_SECOND)
         self._start_tick: Optional[int] = None
+        #: Frame free list (see :mod:`repro.net.freelist`): the flood's
+        #: frames live only from NIC to demux drop, so the driver hands
+        #: them back and the attacker resprays them.
+        if frame_pool is None:
+            # Read at call time so A/B tests can flip the module default.
+            frame_pool = freelist.FRAME_POOL_DEFAULT
+        self.pool: Optional[SynFramePool] = (
+            SynFramePool(self.nic.mac, server_mac, server_ip, target_port)
+            if frame_pool else None)
 
     def current_rate(self) -> int:
         """The instantaneous send rate, including any ramp."""
@@ -92,11 +104,15 @@ class SynAttacker:
         src_ip = next(self.spoof_subnet.hosts(
             1, start=1 + (self._spoof_index % self.spoof_hosts)))
         src_port = 1024 + (self._spoof_index % 60_000)
-        seg = TCPSegment(src_port, self.target_port, seq=0, ack=0,
-                         flags=FLAG_SYN)
-        dgram = IPDatagram(src_ip, self.server_ip, IPPROTO_TCP, seg)
-        self.nic.send(EthFrame(self.nic.mac, self.server_mac,
-                               ETHERTYPE_IP, dgram))
+        if self.pool is not None:
+            frame = self.pool.acquire(src_ip, src_port)
+        else:
+            seg = TCPSegment(src_port, self.target_port, seq=0, ack=0,
+                             flags=FLAG_SYN)
+            dgram = IPDatagram(src_ip, self.server_ip, IPPROTO_TCP, seg)
+            frame = EthFrame(self.nic.mac, self.server_mac,
+                             ETHERTYPE_IP, dgram)
+        self.nic.send(frame)
         self.sent += 1
         interval = TICKS_PER_SECOND // self.current_rate()
         self.sim.schedule(max(1, interval), self._fire)

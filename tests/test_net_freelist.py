@@ -1,0 +1,101 @@
+"""The SYN-frame free list recycles flood packets without touching behavior.
+
+The ownership contract (see :mod:`repro.net.freelist`) is what makes
+recycling replay-exact; these tests pin each clause — single release,
+double-release no-op, fault-model stripping — and then the headline claim:
+an attacked run digests identically with pooling on and off.
+"""
+
+from __future__ import annotations
+
+import repro.net.freelist as freelist
+from repro.net.freelist import SynFramePool, release_frame, strip_pool
+from repro.net.packet import ETHERTYPE_IP, FLAG_SYN, IPPROTO_TCP
+
+
+def _pool(cap=4):
+    return SynFramePool("aa:00", "bb:00", "10.0.0.80", 80, cap=cap)
+
+
+def test_acquire_builds_a_well_formed_syn_frame():
+    pool = _pool()
+    frame = pool.acquire("10.9.0.5", 4321)
+    assert frame.ethertype == ETHERTYPE_IP
+    assert frame.dst_mac == "bb:00"
+    assert frame.pool is pool
+    dgram = frame.payload
+    assert (dgram.src_ip, dgram.dst_ip, dgram.proto) == \
+        ("10.9.0.5", "10.0.0.80", IPPROTO_TCP)
+    seg = dgram.payload
+    assert (seg.src_port, seg.dst_port, seg.flags) == (4321, 80, FLAG_SYN)
+
+
+def test_release_recycles_and_rewrites_only_the_spoofed_source():
+    pool = _pool()
+    first = pool.acquire("10.9.0.5", 4321)
+    pool.release(first)
+    again = pool.acquire("10.9.0.6", 9999)
+    assert again is first
+    assert again.payload.src_ip == "10.9.0.6"
+    assert again.payload.payload.src_port == 9999
+    assert again.payload.dst_ip == "10.0.0.80"
+    assert pool.stats() == {"acquired": 2, "recycled": 1,
+                            "released": 1, "free": 0}
+
+
+def test_double_release_is_a_noop_and_cap_bounds_the_free_list():
+    pool = _pool(cap=1)
+    a = pool.acquire("10.9.0.1", 1)
+    b = pool.acquire("10.9.0.2", 2)
+    pool.release(a)
+    pool.release(a)          # double release: structurally ignored
+    pool.release(b)          # beyond cap: dropped, not hoarded
+    assert pool.stats()["released"] == 2
+    assert pool.stats()["free"] == 1
+    # Released frames no longer belong to the pool.
+    assert a.pool is None and b.pool is None
+
+
+def test_strip_pool_makes_release_frame_a_noop():
+    pool = _pool()
+    frame = pool.acquire("10.9.0.5", 4321)
+    strip_pool(frame)
+    release_frame(frame)
+    assert pool.stats()["released"] == 0
+
+
+def test_fault_injector_strips_poolability():
+    from repro.net.fault import FaultInjector
+    from repro.net.link import Hub, NIC
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    inj = FaultInjector(sim, Hub(sim))
+    sender = NIC(sim, "sender")
+    pool = _pool()
+    frame = pool.acquire("10.9.0.5", 4321)
+    inj.transmit(frame, sender)
+    assert frame.pool is None
+
+
+def test_attacked_run_digest_identical_with_and_without_pool():
+    from repro.snapshot import ExperimentRun, RunDriver
+
+    def once(enabled: bool):
+        old = freelist.FRAME_POOL_DEFAULT
+        freelist.FRAME_POOL_DEFAULT = enabled
+        try:
+            run = ExperimentRun("accounting", clients=2, syn_rate=400,
+                                untrusted_cap=8, warmup_s=0.1,
+                                measure_s=0.3)
+            RunDriver(run).run_all()
+            pool = run.bed.syn_attacker.pool
+            if enabled:
+                assert pool is not None and pool.recycled > 0
+            else:
+                assert pool is None
+            return run.digest(), run.bed.sim.events_processed
+        finally:
+            freelist.FRAME_POOL_DEFAULT = old
+
+    assert once(True) == once(False)
