@@ -36,7 +36,14 @@ Subcommands:
   them over the worker pool (crash-resumable via ``--cache-dir``), and
   delta-debugs every failure to a certified 1-minimal reproducer;
   ``minimize`` shrinks one case; ``corpus`` replays the banked regression
-  corpus exactly (exit 1 on any fingerprint or digest drift).
+  corpus exactly (exit 1 on any fingerprint or digest drift);
+* ``supervise`` — crash-only execution of any replayable run spec in a
+  supervised child process: heartbeat-based hang detection, SIGKILL-
+  anywhere resume from checkpoint + write-ahead journal, bounded
+  backoff retries; ``--selftest`` runs the deterministic crash-injection
+  matrix gating on byte-identical digests after resume.  ``figure9
+  --supervised`` and ``resilience explore --supervised`` route their
+  cells through the same machinery.
 """
 
 from __future__ import annotations
@@ -241,6 +248,10 @@ def figure9_main(argv) -> int:
                         metavar="S",
                         help="also checkpoint in-flight cells every S "
                              "simulated seconds")
+    parser.add_argument("--supervised", action="store_true",
+                        help="run each cell in a crash-only supervised "
+                             "child process (hang detection, "
+                             "SIGKILL-anywhere resume, bounded retries)")
     _add_perf_args(parser)
     args = parser.parse_args(argv)
 
@@ -258,9 +269,12 @@ def figure9_main(argv) -> int:
                 warmup_s=args.warmup, measure_s=args.measure,
                 checkpoint_dir=args.checkpoint_dir,
                 checkpoint_every_s=args.checkpoint_every,
-                workers=args.workers)
+                workers=args.workers, supervised=args.supervised)
     except CheckpointError as exc:
         return _print_checkpoint_error(exc)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(result.format())
     return 0
 
@@ -619,13 +633,35 @@ def _bench_guard(report, baseline_path: str, max_regression: float) -> int:
     with ``python -m repro bench -o BENCH_sim.json``.
     """
     import json
+    import os
 
+    rebase_hint = (f"create/refresh it from a healthy checkout with:\n"
+                   f"  python -m repro bench -o {baseline_path}")
+    if not os.path.exists(baseline_path):
+        print(f"error: baseline {baseline_path} does not exist — nothing "
+              f"to guard against.\n{rebase_hint}", file=sys.stderr)
+        return 2
     try:
         with open(baseline_path) as fh:
             baseline = json.load(fh)
-        baseline["event_loop"]["events_per_sec"]
-    except (OSError, KeyError, ValueError) as exc:
+    except OSError as exc:
         print(f"error: cannot read baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: baseline {baseline_path} is not valid JSON "
+              f"({exc}) — it may be truncated or hand-edited.\n"
+              f"{rebase_hint}", file=sys.stderr)
+        return 2
+    headline = (baseline.get("event_loop")
+                if isinstance(baseline, dict) else None)
+    if not isinstance(headline, dict) or "events_per_sec" not in headline:
+        shape = (", ".join(sorted(baseline)) or "(empty)") \
+            if isinstance(baseline, dict) else type(baseline).__name__
+        print(f"error: baseline {baseline_path} is valid JSON but does "
+              f"not look like a bench report (no event_loop."
+              f"events_per_sec; top level: {shape}).  It may predate "
+              f"the current report schema.\n{rebase_hint}",
               file=sys.stderr)
         return 2
     failed = False
@@ -634,7 +670,11 @@ def _bench_guard(report, baseline_path: str, max_regression: float) -> int:
         base = baseline.get(section, {}).get("events_per_sec")
         if base is None:
             continue
-        cur = report[section]["events_per_sec"]
+        cur = report.get(section, {}).get("events_per_sec")
+        if cur is None:
+            print(f"bench guard: baseline has a {label} headline but "
+                  f"this run skipped that section; not compared")
+            continue
         floor = base * (1.0 - max_regression)
         verdict = "OK" if cur >= floor else "REGRESSION"
         print(f"bench guard: {label} {cur:,.0f} events/s vs baseline "
@@ -758,6 +798,15 @@ def resilience_main(argv) -> int:
     p_explore.add_argument("--quiet", action="store_true",
                            help="suppress progress lines (final report "
                                 "only)")
+    p_explore.add_argument("--supervised", action="store_true",
+                           help="run each case in a crash-only supervised "
+                                "child process; harness deaths become "
+                                "supervision:* verdicts instead of "
+                                "killing the campaign")
+    p_explore.add_argument("--supervise-dir", default=None, metavar="DIR",
+                           help="keep per-case supervision state "
+                                "(checkpoints, journals, attempt logs) "
+                                "here for post-mortem")
 
     p_min = sub.add_parser(
         "minimize", help="shrink one failing sampled case")
@@ -795,6 +844,8 @@ def resilience_main(argv) -> int:
                          cache_dir=args.cache_dir,
                          minimize=not args.no_minimize,
                          max_tests=args.max_tests, bank_dir=args.bank,
+                         supervised=args.supervised,
+                         supervise_dir=args.supervise_dir,
                          log=None if args.quiet else print)
         print(report.format())
         return 1 if report.failures else 0
@@ -840,6 +891,138 @@ def resilience_main(argv) -> int:
     return 1 if bad else 0
 
 
+def supervise_main(argv) -> int:
+    """Crash-only supervised execution of one replayable run spec."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro supervise",
+        description="Execute a replayable run spec in a supervised child "
+                    "process: heartbeat hang detection, SIGKILL-anywhere "
+                    "resume from checkpoint + write-ahead journal, and "
+                    "bounded backoff retries.")
+    parser.add_argument("--spec-file", default=None, metavar="JSON",
+                        help="file holding the run spec to execute "
+                             "(any kind: experiment, chaos, defense, "
+                             "cluster)")
+    parser.add_argument("--kind", default=None,
+                        choices=["experiment", "chaos", "defense",
+                                 "cluster"],
+                        help="run the built-in small reference spec of "
+                             "this kind instead of --spec-file")
+    parser.add_argument("--state-dir", default=None,
+                        help="state directory for job/checkpoint/journal/"
+                             "result files (default: a fresh temp dir); "
+                             "reusing one resumes its journal")
+    parser.add_argument("--max-attempts", type=int, default=3)
+    parser.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                        metavar="S",
+                        help="wall-clock seconds without a heartbeat "
+                             "before the child is declared hung and "
+                             "SIGKILLed (default 10)")
+    parser.add_argument("--checkpoint-every", type=int, default=5000,
+                        metavar="EVENTS",
+                        help="checkpoint cadence inside the child "
+                             "(default 5000 events)")
+    parser.add_argument("--grade", action="store_true",
+                        help="grade the finished run with the campaign "
+                             "oracle (exit 1 on a failing verdict)")
+    parser.add_argument("--inject-kill", type=int, default=None,
+                        metavar="K",
+                        help="rehearsal: SIGKILL the child after K "
+                             "executed events (first attempt only) to "
+                             "watch the resume")
+    parser.add_argument("--inject-hang", type=int, default=None,
+                        metavar="K",
+                        help="rehearsal: hang the child after K executed "
+                             "events (first attempt only) to watch hang "
+                             "detection")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the deterministic crash-injection "
+                             "selftest matrix (seeded kill points per "
+                             "run kind, a hang, a retry-budget "
+                             "exhaustion) and exit non-zero unless "
+                             "every resume is byte-identical")
+    parser.add_argument("--quick", action="store_true",
+                        help="with --selftest: the CI smoke shape "
+                             "(experiment + chaos kinds, no "
+                             "retry-exhaustion case)")
+    parser.add_argument("--kill-points", type=int, default=3,
+                        help="with --selftest: seeded kill points per "
+                             "kind (default 3)")
+    parser.add_argument("--seed", type=int, default=990417,
+                        help="with --selftest: the kill-point seed")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    from repro.supervise import Supervisor, supervision_verdict
+
+    if args.selftest:
+        from repro.supervise import crash_injection_selftest
+        base = args.state_dir or tempfile.mkdtemp(
+            prefix="supervise-selftest-")
+        kinds = (("experiment", "chaos") if args.quick
+                 else ("experiment", "chaos", "defense", "cluster"))
+        report = crash_injection_selftest(
+            base, kinds=kinds, kill_points=args.kill_points,
+            gave_up=not args.quick, seed=args.seed, log=print)
+        print()
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.spec_file:
+        import json
+        with open(args.spec_file) as fh:
+            spec = json.load(fh)
+    elif args.kind:
+        from repro.supervise.harness import selftest_spec
+        spec = selftest_spec(args.kind)
+    else:
+        parser.error("give --spec-file, --kind, or --selftest")
+
+    inject = None
+    if args.inject_kill is not None:
+        inject = {"mode": "kill", "after_events": args.inject_kill,
+                  "on_attempt": 1}
+    elif args.inject_hang is not None:
+        inject = {"mode": "hang", "after_events": args.inject_hang,
+                  "on_attempt": 1}
+
+    state_dir = args.state_dir or tempfile.mkdtemp(prefix="supervise-")
+    sup = Supervisor(state_dir, max_attempts=args.max_attempts,
+                     heartbeat_timeout_s=args.heartbeat_timeout,
+                     checkpoint_every_events=args.checkpoint_every)
+    sres = sup.run(spec, grade=args.grade, inject=inject)
+
+    for a in sres.attempts:
+        line = (f"attempt {a.attempt}: {a.classification} "
+                f"({a.duration_s:.2f}s, {a.heartbeats} heartbeats")
+        if a.backoff_s:
+            line += f"; backoff {a.backoff_s:.2f}s before retry"
+        print(line + ")")
+    print(f"state dir: {sres.state_dir}")
+    if sres.ok:
+        r = sres.result
+        resumed = r["resume"]["resumed_events"]
+        print(f"ok: {r['events']} events"
+              + (f" (resumed at event {resumed})" if resumed else "")
+              + f", digest {r['digest'][:16]}..., "
+              f"fingerprint {r['fingerprint']}")
+        verdict = r.get("verdict")
+        if verdict is not None:
+            status = ("ok" if verdict["ok"]
+                      else ",".join(verdict["failures"]))
+            detail = f" — {verdict['detail']}" if verdict["detail"] else ""
+            print(f"oracle verdict: {status}{detail}")
+            return 0 if verdict["ok"] else 1
+        return 0
+    verdict = supervision_verdict(sres)
+    print(f"gave up: {verdict['detail']}", file=sys.stderr)
+    if sres.error:
+        print(f"last error: {sres.error['type']}: "
+              f"{sres.error['message']}", file=sys.stderr)
+    return 1
+
+
 _SUBCOMMANDS = {
     "chaos": chaos_main,
     "experiment": experiment_main,
@@ -854,6 +1037,7 @@ _SUBCOMMANDS = {
     "record": record_main,
     "replay": replay_main,
     "resilience": resilience_main,
+    "supervise": supervise_main,
 }
 
 

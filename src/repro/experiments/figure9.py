@@ -77,7 +77,8 @@ def run_figure9(client_counts: Sequence[int] = (16, 64),
                 measure_s: float = 2.0,
                 checkpoint_dir: Optional[str] = None,
                 checkpoint_every_s: Optional[float] = None,
-                workers: int = 0) -> Figure9Result:
+                workers: int = 0,
+                supervised: bool = False) -> Figure9Result:
     """Measure best-effort throughput with and without the SYN flood.
 
     With ``checkpoint_dir``, every finished (config, clients, attack) cell
@@ -93,6 +94,12 @@ def run_figure9(client_counts: Sequence[int] = (16, 64),
     (:mod:`repro.perf.pool`); per-cell results are byte-identical to a
     serial run, and the resume cache works the same way — a restarted
     parallel sweep skips finished cells.
+
+    ``supervised`` executes each cell in a crash-only supervised child
+    process (:mod:`repro.supervise`): a cell killed or hung mid-run is
+    retried with checkpoint+journal resume, finished cells persist to
+    the same cache, and only after every recoverable cell has been
+    persisted does a cell that exhausted its retries raise.
     """
     from repro.perf.pool import SweepCell, run_cells
 
@@ -130,8 +137,12 @@ def run_figure9(client_counts: Sequence[int] = (16, 64),
             save_checkpoint(cache_path, {"kind": "figure9-cells",
                                          "cells": cache})
 
-    merged = run_cells(cells, workers=workers, cache=cache,
-                       on_cell_done=persist)
+    if supervised:
+        merged = _run_cells_supervised(cells, cache, persist,
+                                       checkpoint_dir)
+    else:
+        merged = run_cells(cells, workers=workers, cache=cache,
+                           on_cell_done=persist)
 
     result = Figure9Result(client_counts=list(client_counts),
                            doc_label=doc_label)
@@ -153,3 +164,66 @@ def run_figure9(client_counts: Sequence[int] = (16, 64),
                                  "attack": attack_series}
         result.syn_stats[config] = {"sent": sent, "dropped": dropped}
     return result
+
+
+def _cell_spec(params: Dict) -> Dict:
+    """The :class:`~repro.snapshot.runs.ExperimentRun` spec of one cell
+    (exactly the machine the ``figure9`` cell runner builds)."""
+    return {
+        "run": "experiment",
+        "config": params["config"],
+        "clients": params["clients"],
+        "document": params["document"],
+        "syn_rate": params["syn_rate"] if params["attack"] else 0,
+        "untrusted_cap": params["untrusted_cap"],
+        "cgi_attackers": 0, "cgi_script": "loop", "qos": False,
+        "warmup_s": params["warmup_s"], "measure_s": params["measure_s"],
+    }
+
+
+def _run_cells_supervised(cells, cache: Dict, persist,
+                          checkpoint_dir: Optional[str]) -> Dict:
+    """Run figure9 cells through supervised children, degrade gracefully.
+
+    Every recoverable cell completes and is persisted before a cell that
+    exhausted its retry budget raises — so the re-run after fixing the
+    environment only faces the cells that actually failed.
+    """
+    import hashlib
+    import tempfile
+
+    from repro.supervise import Supervisor
+
+    state_root = (os.path.join(checkpoint_dir, "supervise")
+                  if checkpoint_dir
+                  else tempfile.mkdtemp(prefix="figure9-supervise-"))
+    merged = {}
+    gave_up = []
+    for cell in cells:
+        if cell.key in cache:
+            merged[cell.key] = cache[cell.key]
+            continue
+        # Cell keys contain "/" (they are table coordinates); hash them
+        # into flat state-directory names.
+        digest = hashlib.sha1(cell.key.encode()).hexdigest()[:12]
+        sup = Supervisor(os.path.join(state_root, digest))
+        sres = sup.run(_cell_spec(cell.params))
+        if sres.gave_up:
+            gave_up.append((cell.key, sres))
+            continue
+        m = sres.result["measurement"]
+        value = {"cps": m["connections_per_second"],
+                 "syn_sent": m["syn_sent"],
+                 "syn_dropped": m["syn_dropped_at_demux"]}
+        merged[cell.key] = value
+        persist(cell, value)
+    if gave_up:
+        details = "; ".join(
+            f"{key}: {sres.classification} after "
+            f"{len(sres.attempts)} attempts (state in {sres.state_dir})"
+            for key, sres in gave_up)
+        raise RuntimeError(
+            f"{len(gave_up)} figure9 cell(s) exhausted their supervised "
+            f"retry budget — every other cell is persisted; re-run to "
+            f"retry only the failed ones.  {details}")
+    return merged

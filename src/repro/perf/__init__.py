@@ -9,7 +9,7 @@ sweep throughput into ``BENCH_sim.json``, and :mod:`repro.perf.profiling`
 is the ``--profile`` cProfile hook.
 """
 
-from repro.perf.pool import SweepCell, run_cells
+from repro.perf.pool import CellFailure, SweepCell, run_cells
 from repro.perf.profiling import maybe_profiled
 
-__all__ = ["SweepCell", "run_cells", "maybe_profiled"]
+__all__ = ["CellFailure", "SweepCell", "run_cells", "maybe_profiled"]

@@ -254,6 +254,34 @@ def resilience_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Crash-injection cell (exercises the pool's failure containment)
+# ----------------------------------------------------------------------
+@cell_runner("crash-injection")
+def crash_injection_cell(mode: str = "ok", marker_path: str = None,
+                         value: Any = None) -> Dict[str, Any]:
+    """Deterministically kill (or crash) the hosting worker process.
+
+    ``kill-once`` SIGKILLs the worker the first time the cell runs and
+    succeeds on the requeue (``marker_path`` records the first death);
+    ``kill-always`` dies on every attempt, ``raise`` raises, ``ok``
+    returns ``{"value": value}``.  Exists for the containment tests and
+    for rehearsing sweep behaviour under worker loss.
+    """
+    import os as _os
+    import signal as _signal
+
+    if mode == "kill-always" or (
+            mode == "kill-once" and marker_path is not None
+            and not _os.path.exists(marker_path)):
+        if marker_path is not None:
+            open(marker_path, "w").close()
+        _os.kill(_os.getpid(), _signal.SIGKILL)
+    if mode == "raise":
+        raise RuntimeError("injected cell exception")
+    return {"value": value}
+
+
+# ----------------------------------------------------------------------
 # Chaos matrix cell
 # ----------------------------------------------------------------------
 @cell_runner("chaos")

@@ -22,6 +22,15 @@ A pre-populated ``cache`` (e.g. the figure9 ``figure9-cells.ckpt`` cell
 cache) short-circuits finished cells, so a resumed parallel sweep only
 runs what is missing; ``on_cell_done`` fires as cells finish (completion
 order) so callers can persist the cache crash-safely.
+
+Failure containment: a worker process dying (OOM-kill, segfault) breaks
+a ``ProcessPoolExecutor``, poisoning every in-flight future.  Rather
+than aborting the sweep, :func:`run_cells` requeues each affected cell
+once into its own fresh single-worker pool — innocent victims of a
+neighbour's crash complete normally there — and a cell whose worker dies
+twice (or that raises) is surfaced as a :class:`CellFailure` value in
+the result mapping.  Failures are never cached and never passed to
+``on_cell_done``.
 """
 
 from __future__ import annotations
@@ -40,6 +49,24 @@ class SweepCell:
     runner: str
     #: JSON-able keyword arguments for the runner.
     params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell that could not produce a result — surfaced, not raised.
+
+    Appears as the cell's value in the mapping :func:`run_cells` returns,
+    so one dying worker (OOM-killed, segfaulted) costs its own cell, not
+    the whole sweep.  ``kind`` is ``"worker-crash"`` when the hosting
+    process died (the cell was requeued once into a fresh single-worker
+    pool first) or ``"exception"`` when the cell itself raised.
+    """
+
+    key: str
+    runner: str
+    kind: str
+    error: str
+    requeued: bool = False
 
 
 def _run_cell_job(runner: str, params: Dict[str, Any]) -> Any:
@@ -70,6 +97,9 @@ def run_cells(cells_seq: Sequence[SweepCell], workers: int = 0,
     if workers and workers > 1 and todo:
         from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
         from concurrent.futures import wait as futures_wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        broken_keys = set()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {pool.submit(_run_cell_job, c.runner, c.params): c
                        for c in todo}
@@ -82,10 +112,46 @@ def run_cells(cells_seq: Sequence[SweepCell], workers: int = 0,
                                              return_when=FIRST_COMPLETED)
                 for fut in done:
                     cell = futures[fut]
-                    result = fut.result()
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        # A worker died (SIGKILL, OOM, segfault) and took
+                        # the whole pool with it; every in-flight cell
+                        # lands here, killer and innocent victims alike.
+                        broken_keys.add(cell.key)
+                        continue
+                    except Exception as exc:
+                        # The cell itself raised — deterministic, so a
+                        # retry would change nothing.  Record and go on.
+                        results[cell.key] = CellFailure(
+                            cell.key, cell.runner, "exception",
+                            repr(exc)[:500])
+                        continue
                     results[cell.key] = result
                     if on_cell_done is not None:
                         on_cell_done(cell, result)
+        # Requeue each broken-pool cell once, isolated in its own
+        # single-worker pool: an innocent victim completes normally, a
+        # repeat-killer can only abandon itself.
+        for cell in (c for c in todo if c.key in broken_keys):
+            try:
+                with ProcessPoolExecutor(max_workers=1) as solo:
+                    result = solo.submit(_run_cell_job, cell.runner,
+                                         cell.params).result()
+            except BrokenProcessPool:
+                results[cell.key] = CellFailure(
+                    cell.key, cell.runner, "worker-crash",
+                    "worker process died running this cell twice "
+                    "(killed by the OS?); cell abandoned", requeued=True)
+                continue
+            except Exception as exc:
+                results[cell.key] = CellFailure(
+                    cell.key, cell.runner, "exception", repr(exc)[:500],
+                    requeued=True)
+                continue
+            results[cell.key] = result
+            if on_cell_done is not None:
+                on_cell_done(cell, result)
     else:
         for cell in todo:
             result = _run_cell_job(cell.runner, cell.params)

@@ -123,6 +123,17 @@ def _load_cache(cache_dir: Optional[str]) -> Dict[str, Dict]:
     return payload["cells"]
 
 
+#: Failure fingerprints the in-process oracle cannot reproduce — they
+#: name how the *harness* around the run died, not what the run did —
+#: so the minimizer (which replays cases through the oracle) skips them.
+_UNMINIMIZABLE_PREFIXES = ("supervision:", "cell-")
+
+
+def _is_minimizable(verdict: Dict) -> bool:
+    return not any(f.startswith(_UNMINIMIZABLE_PREFIXES)
+                   for f in verdict["failures"])
+
+
 def explore(target: str = "chaos", seed: int = 7, budget: int = 50, *,
             workers: int = 0,
             intensity: Optional[Dict[str, float]] = None,
@@ -130,6 +141,8 @@ def explore(target: str = "chaos", seed: int = 7, budget: int = 50, *,
             minimize: bool = True,
             max_tests: int = 400,
             bank_dir: Optional[str] = None,
+            supervised: bool = False,
+            supervise_dir: Optional[str] = None,
             log: Optional[Callable[[str], None]] = None
             ) -> CampaignReport:
     """Run one campaign; returns a :class:`CampaignReport`.
@@ -137,8 +150,16 @@ def explore(target: str = "chaos", seed: int = 7, budget: int = 50, *,
     ``bank_dir`` writes each minimized reproducer into the corpus (named
     by its campaign key).  Minimization runs serially in-process after
     the sweep, so its memoized oracle calls stay deterministic.
+
+    ``supervised`` routes every case through a crash-only supervised
+    child (:mod:`repro.supervise`): a case that SIGKILLs, hangs or
+    crashes its process is retried with resume and — if it keeps dying —
+    recorded as a ``supervision:<classification>`` verdict while the
+    campaign continues.  ``supervise_dir`` keeps the per-case state
+    directories (checkpoints + journals) for post-mortem; by default
+    they live under ``cache_dir`` or a temp directory.
     """
-    from repro.perf.pool import SweepCell, run_cells
+    from repro.perf.pool import CellFailure, SweepCell, run_cells
 
     say = log or (lambda line: None)
     cases = campaign_cases(target, seed, budget, intensity)
@@ -159,8 +180,22 @@ def explore(target: str = "chaos", seed: int = 7, budget: int = 50, *,
             save_checkpoint(os.path.join(cache_dir, _CACHE_FILE),
                             {"kind": _CACHE_KIND, "cells": cache})
 
-    verdicts = run_cells(cells, workers=workers, cache=cache,
-                         on_cell_done=persist)
+    if supervised:
+        verdicts = _run_supervised(cells, by_key, cache, persist,
+                                   supervise_dir or
+                                   (os.path.join(cache_dir, "supervise")
+                                    if cache_dir else None), say)
+    else:
+        verdicts = run_cells(cells, workers=workers, cache=cache,
+                             on_cell_done=persist)
+        # A worker that died twice running a cell surfaces as a
+        # CellFailure value; shape it like a verdict so the campaign
+        # degrades to one recorded failure instead of a KeyError.
+        verdicts = {
+            key: ({"ok": False, "failures": [f"cell-{v.kind}"],
+                   "digest": "", "events": 0, "detail": v.error}
+                  if isinstance(v, CellFailure) else v)
+            for key, v in verdicts.items()}
 
     failures: List[CampaignFailure] = []
     for key in sorted(k for k, v in verdicts.items() if not v["ok"]):
@@ -169,6 +204,10 @@ def explore(target: str = "chaos", seed: int = 7, budget: int = 50, *,
         failures.append(failure)
         say(f"FAIL {key}: {','.join(verdicts[key]['failures'])}")
         if not minimize:
+            continue
+        if not _is_minimizable(verdicts[key]):
+            say("  not minimizable: the failure names how the harness "
+                "died, not what the run did")
             continue
         minimizer = Minimizer(by_key[key], max_tests=max_tests,
                               log=lambda line: say(f"  {line}"))
@@ -200,3 +239,35 @@ def explore(target: str = "chaos", seed: int = 7, budget: int = 50, *,
 
     return CampaignReport(target=target, seed=seed, budget=budget,
                           verdicts=dict(verdicts), failures=failures)
+
+
+def _run_supervised(cells, by_key, cache, persist, state_root, say):
+    """Execute campaign cells through supervised child processes.
+
+    Serial by design: each child already is its own process, and the
+    per-case state directories (checkpoint + journal + attempt logs)
+    under ``state_root`` are the artifact a post-mortem wants.
+    """
+    import tempfile
+
+    from repro.resilience.space import case_to_spec
+    from repro.supervise import Supervisor, supervision_verdict
+
+    if state_root is None:
+        state_root = tempfile.mkdtemp(prefix="resilience-supervise-")
+    verdicts = {}
+    for cell in cells:
+        if cell.key in cache:
+            verdicts[cell.key] = cache[cell.key]
+            continue
+        sup = Supervisor(os.path.join(state_root, cell.key))
+        sres = sup.run(case_to_spec(by_key[cell.key]), grade=True)
+        verdict = supervision_verdict(sres)
+        if sres.gave_up:
+            say(f"supervision gave up on {cell.key}: "
+                f"{sres.classification} after "
+                f"{len(sres.attempts)} attempts "
+                f"(state kept in {sres.state_dir})")
+        verdicts[cell.key] = verdict
+        persist(cell, verdict)
+    return {c.key: verdicts[c.key] for c in cells}

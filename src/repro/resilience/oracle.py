@@ -85,6 +85,20 @@ _GRADERS = {"chaos": _grade_chaos, "defense": _grade_defense,
             "cluster": _grade_cluster}
 
 
+def grade_run(run, result) -> Tuple[List[str], str]:
+    """Grade one *completed* run object; returns ``(failures, detail)``.
+
+    The grading half of :func:`evaluate_spec`, split out so callers that
+    executed the run themselves — the supervised child process grades in
+    place before writing ``result.json`` — apply the same rules.  Kinds
+    without a registered grader (plain experiments) grade clean.
+    """
+    grade = _GRADERS.get(run.spec().get("run"))
+    if grade is None:
+        return [], ""
+    return grade(run, result)
+
+
 def evaluate_spec(spec: Dict) -> Dict:
     """Execute one run spec and return its verdict.
 
@@ -98,11 +112,7 @@ def evaluate_spec(spec: Dict) -> Dict:
         run = run_from_spec(spec)
         driver = RunDriver(run)
         result = driver.run_all()
-        grade = _GRADERS.get(spec.get("run"))
-        if grade is not None:
-            failures, detail = grade(run, result)
-        else:
-            failures, detail = [], ""
+        failures, detail = grade_run(run, result)
         return {"ok": not failures, "failures": failures,
                 "digest": run.digest(),
                 "events": driver.sim.events_processed,

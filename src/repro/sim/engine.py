@@ -229,6 +229,44 @@ class Simulator:
         self.fast_lane_events: int = 0
         #: Fired lane events whose shells were reused (diagnostics).
         self.events_recycled: int = 0
+        # Progress hook: an out-of-band callback fired every N executed
+        # events (see set_progress_hook).  ``_progress_at`` is the next
+        # events_processed threshold; _NEVER keeps the per-event check a
+        # single false comparison when no hook is installed.
+        self._progress_hook: Optional[Callable[[], None]] = None
+        self._progress_every: int = 0
+        self._progress_at: int = _NEVER
+
+    # ------------------------------------------------------------------
+    # Progress hook
+    # ------------------------------------------------------------------
+    def set_progress_hook(self, fn: Callable[[], None],
+                          every_events: int = 1000) -> None:
+        """Call ``fn()`` after every ``every_events`` executed events.
+
+        The hook is for *out-of-band* work only — supervision heartbeats,
+        crash-injection triggers, wall-clock watchdogs.  It runs between
+        events (never mid-callback) and must not schedule, cancel, or
+        otherwise touch simulated state: determinism is guaranteed only
+        for hooks the simulation cannot observe.
+        """
+        if every_events < 1:
+            raise ValueError(f"every_events must be >= 1: {every_events}")
+        self._progress_hook = fn
+        self._progress_every = every_events
+        self._progress_at = self._events_processed + every_events
+
+    def clear_progress_hook(self) -> None:
+        """Remove the progress hook (the per-event check goes dormant)."""
+        self._progress_hook = None
+        self._progress_every = 0
+        self._progress_at = _NEVER
+
+    def _fire_progress(self) -> None:
+        # Re-arm before calling: a hook that raises (or never returns —
+        # an injected hang) must not be re-entered on the same threshold.
+        self._progress_at = self._events_processed + self._progress_every
+        self._progress_hook()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -368,6 +406,8 @@ class Simulator:
                 if self._event_pool and len(free) < EVENT_POOL_CAP:
                     free.append(ev)
                 fn()
+                if self._events_processed >= self._progress_at:
+                    self._fire_progress()
                 return True
             if queue:
                 time, _seq, ev = queue[0]
@@ -387,6 +427,8 @@ class Simulator:
                 ev.fired = True
                 self._events_processed += 1
                 ev.fn()
+                if self._events_processed >= self._progress_at:
+                    self._fire_progress()
                 return True
             if wheel is not None and wheel.count:
                 self._pour(wheel.min_bound())
@@ -428,6 +470,8 @@ class Simulator:
                 if self._event_pool and len(free) < EVENT_POOL_CAP:
                     free.append(ev)
                 fn()
+                if self._events_processed >= self._progress_at:
+                    self._fire_progress()
                 return True
             if queue:
                 time, _seq, ev = queue[0]
@@ -453,6 +497,8 @@ class Simulator:
                 ev.fired = True
                 self._events_processed += 1
                 ev.fn()
+                if self._events_processed >= self._progress_at:
+                    self._fire_progress()
                 return True
             if (wheel is not None and wheel.count and horizon <= until
                     and wheel.min_bound() <= until):
@@ -506,6 +552,8 @@ class Simulator:
                 if pool and len(self._free_events) < EVENT_POOL_CAP:
                     push_free(ev)
                 fn()
+                if self._events_processed >= self._progress_at:
+                    self._fire_progress()
                 continue
             if queue:
                 time, _seq, ev = queue[0]
@@ -531,6 +579,8 @@ class Simulator:
                 ev.fired = True
                 self._events_processed += 1
                 ev.fn()
+                if self._events_processed >= self._progress_at:
+                    self._fire_progress()
                 continue
             if (wheel is not None and wheel.count and horizon <= until
                     and wheel.min_bound() <= until):

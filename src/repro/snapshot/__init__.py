@@ -17,6 +17,8 @@ from repro.snapshot.digest import (canonical_json, light_state,
                                    machine_digest, machine_summary,
                                    summary_diff)
 from repro.snapshot.driver import RestoreMismatchError, RunDriver
+from repro.snapshot.journal import (JournalError, JournalScan, RunJournal,
+                                    scan_journal)
 from repro.snapshot.replay import (Divergence, Recording, ReplayReport,
                                    record, replay)
 from repro.snapshot.rollback import (DomainSnapshot, DomainSnapshotter,
@@ -30,6 +32,7 @@ __all__ = [
     "canonical_json", "light_state", "machine_digest", "machine_summary",
     "summary_diff",
     "RestoreMismatchError", "RunDriver",
+    "JournalError", "JournalScan", "RunJournal", "scan_journal",
     "Divergence", "Recording", "ReplayReport", "record", "replay",
     "DomainSnapshot", "DomainSnapshotter", "RollbackReport",
     "ExperimentRun", "ReplayableRun", "reset_ids", "run_from_spec",

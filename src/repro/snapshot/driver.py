@@ -47,6 +47,10 @@ class RunDriver:
 
     def __init__(self, run: ReplayableRun, *, build: bool = True):
         self.run = run
+        #: Optional write-ahead journal (:class:`~repro.snapshot.journal.
+        #: RunJournal`); when attached, every performed milestone appends
+        #: one durable position+digest record before execution continues.
+        self.journal = None
         if build:
             reset_ids()
             run.build()
@@ -86,6 +90,8 @@ class RunDriver:
             self.sim.run(until=due)
             self.run.perform(name)
             self._ms_done += 1
+            if self.journal is not None:
+                self.journal.milestone(self)
         self.sim.run(until=tick)
 
     def run_all(self):
@@ -111,6 +117,8 @@ class RunDriver:
             self.sim.finish_until(due)
             self.run.perform(name)
             self._ms_done += 1
+            if self.journal is not None:
+                self.journal.milestone(self)
             return "milestone"
         return None
 
@@ -162,13 +170,19 @@ class RunDriver:
         return self.run.result(), written
 
     @classmethod
-    def resume(cls, ckpt_path: str) -> Tuple["RunDriver", Dict]:
+    def resume(cls, ckpt_path: str,
+               progress=None) -> Tuple["RunDriver", Dict]:
         """Restore a checkpoint into a fresh machine, digest-verified.
 
         Rebuilds the machine from the recorded spec, fast-forwards to the
         recorded tick, and checks events-processed, scheduler sequence and
         the full state digest before handing the driver back.  Raises
         :class:`RestoreMismatchError` if re-execution diverged.
+
+        ``progress`` (optional, zero-argument) is invoked out-of-band
+        every ~1000 re-executed events so a supervising parent can tell a
+        long deterministic fast-forward from a hang; it must not touch
+        simulated state.
         """
         payload = load_checkpoint(ckpt_path)
         if payload.get("kind") != "checkpoint":
@@ -176,6 +190,8 @@ class RunDriver:
                 f"{ckpt_path}: file is a {payload.get('kind')!r}, "
                 f"not a checkpoint")
         driver = cls(run_from_spec(payload["spec"]))
+        if progress is not None:
+            driver.sim.set_progress_hook(progress, every_events=1000)
         # Step to the recorded position by *counts*, not by clock: event
         # and milestone order is deterministic, so matching both counters
         # lands on the exact cut point even when a milestone sits on the
@@ -183,13 +199,17 @@ class RunDriver:
         # across any idle gap before the cut.
         target_events = payload["events"]
         target_ms = payload["milestones_done"]
-        while (driver.sim.events_processed < target_events
-               or driver._ms_done < target_ms):
-            if driver.sim.events_processed > target_events:
-                break  # diverged; let verification report it
-            if driver.step() is None:
-                break
-        driver.sim.finish_until(payload["tick"])
+        try:
+            while (driver.sim.events_processed < target_events
+                   or driver._ms_done < target_ms):
+                if driver.sim.events_processed > target_events:
+                    break  # diverged; let verification report it
+                if driver.step() is None:
+                    break
+            driver.sim.finish_until(payload["tick"])
+        finally:
+            if progress is not None:
+                driver.sim.clear_progress_hook()
         mismatches: List[str] = []
         if driver.sim.events_processed != payload["events"]:
             mismatches.append(

@@ -1,0 +1,181 @@
+"""The write-ahead run journal (format ``ESCJRNL 1``).
+
+Checkpoints are coarse: a run killed between two checkpoint cuts loses
+everything since the last one.  The journal closes that gap with a much
+cheaper record — every time the run crosses a *milestone* (boot, start
+load, open/close the measurement window, a chaos action), the driver
+appends one fsync'd line pinning where execution stood (tick, scheduler
+sequence, events executed, milestones done) and what the machine hashed
+to (the full state digest).  A run SIGKILLed at *any* byte boundary then
+resumes from ``last checkpoint + journal fast-forward``: rebuild from the
+spec (or the checkpoint), deterministically re-execute to the furthest
+journaled position, verify the digest bit for bit, and continue.
+
+File layout — append-only, line-oriented, human-greppable::
+
+    ESCJRNL 1\\n
+    <crc32 hex8> {"kind":"spec","spec":{...}}\\n
+    <crc32 hex8> {"kind":"milestone","tick":...,"seq":...,...}\\n
+    ...
+
+Each record line carries the CRC-32 of its own JSON text, so the reader
+can tell a torn tail (the writer died mid-``write``) from corruption.
+The scan is crash-only: the first line that is incomplete, fails its CRC
+or fails to parse ends the readable prefix — everything before it is
+trusted, everything after it is ignored.  Appends are flushed and
+fsync'd before the writer moves on, which is what makes the journal
+*write-ahead*: a milestone is either durably journaled or it never
+happened.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+JOURNAL_MAGIC = b"ESCJRNL"
+JOURNAL_VERSION = 1
+_HEADER_LINE = JOURNAL_MAGIC + b" " + str(JOURNAL_VERSION).encode() + b"\n"
+
+__all__ = ["JournalError", "JournalScan", "RunJournal", "scan_journal"]
+
+
+class JournalError(Exception):
+    """The journal file exists but cannot be used (wrong magic/version)."""
+
+
+@dataclass
+class JournalScan:
+    """Everything a reader recovered from a journal file."""
+
+    #: The run spec recorded in the header record (None if absent).
+    spec: Optional[Dict] = None
+    #: Milestone records, in append order (each a plain dict).
+    milestones: List[Dict] = field(default_factory=list)
+    #: True when the file ends in an unreadable record (torn write).
+    torn_tail: bool = False
+    #: Total records successfully read (spec record included).
+    records: int = 0
+
+    @property
+    def last(self) -> Optional[Dict]:
+        """The furthest durably journaled milestone, if any."""
+        return self.milestones[-1] if self.milestones else None
+
+
+def _encode(record: Dict) -> bytes:
+    body = json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode()
+    return format(zlib.crc32(body), "08x").encode() + b" " + body + b"\n"
+
+
+def _decode(line: bytes) -> Optional[Dict]:
+    """One record line -> dict, or None if torn/corrupt."""
+    if not line.endswith(b"\n"):
+        return None  # torn: the writer died mid-write
+    sep = line.find(b" ")
+    if sep != 8:
+        return None
+    body = line[9:-1]
+    try:
+        if int(line[:8], 16) != zlib.crc32(body):
+            return None
+        record = json.loads(body)
+    except (ValueError, TypeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def scan_journal(path: str) -> JournalScan:
+    """Read the trustworthy prefix of a journal file.
+
+    Raises :class:`JournalError` only when the file exists but is not a
+    journal at all (bad magic or version) — a torn or empty file is a
+    normal crash residue and yields an empty scan instead.
+    """
+    scan = JournalScan()
+    try:
+        with open(path, "rb") as fh:
+            lines = fh.readlines()
+    except OSError:
+        return scan
+    if not lines:
+        return scan
+    if lines[0] != _HEADER_LINE:
+        raise JournalError(
+            f"{path}: not a run journal (bad header {lines[0][:24]!r})")
+    for line in lines[1:]:
+        record = _decode(line)
+        if record is None:
+            scan.torn_tail = True
+            break
+        scan.records += 1
+        kind = record.get("kind")
+        if kind == "spec" and scan.spec is None:
+            scan.spec = record.get("spec")
+        elif kind == "milestone":
+            scan.milestones.append(record)
+    return scan
+
+
+class RunJournal:
+    """Append-only writer; every append is durable before it returns."""
+
+    def __init__(self, path: str, spec: Optional[Dict] = None):
+        self.path = path
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        if not fresh:
+            scan_journal(path)  # validates magic/version; raises if alien
+        self._fh = open(path, "ab")
+        if fresh:
+            self._fh.write(_HEADER_LINE)
+            if spec is not None:
+                self._fh.write(_encode({"kind": "spec", "spec": spec}))
+            self._sync()
+            directory = os.path.dirname(path) or "."
+            try:
+                fd = os.open(directory, os.O_RDONLY)
+                try:
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append(self, record: Dict) -> None:
+        """Durably append one record (write + flush + fsync)."""
+        self._fh.write(_encode(record))
+        self._sync()
+
+    def milestone(self, driver) -> None:
+        """Journal a :class:`~repro.snapshot.driver.RunDriver` position.
+
+        Called by the driver immediately after performing a milestone;
+        the digest makes the record self-verifying at resume time.
+        """
+        self.append({
+            "kind": "milestone",
+            "tick": driver.sim.now,
+            "seq": driver.sim.seq,
+            "events": driver.sim.events_processed,
+            "milestones_done": driver.milestones_done,
+            "digest": driver.run.digest(),
+        })
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

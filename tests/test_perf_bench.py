@@ -70,3 +70,73 @@ def test_quick_sweep_bench_verifies_cross_worker_identity():
     assert sweep["results_identical_across_worker_counts"] is True
     assert set(sweep["wall_s"]) == {"1", "2"}
     assert sweep["cells"] == 4
+
+
+# ----------------------------------------------------------------------
+# The --baseline guard: every way a baseline file can be wrong should
+# produce an actionable message and exit code 2, never a traceback.
+# ----------------------------------------------------------------------
+GUARD_REPORT = {"event_loop": {"events_per_sec": 100.0},
+                "end_to_end": {"events_per_sec": 50.0}}
+
+
+def _guard(report, baseline_path, capsys, max_regression=0.3):
+    from repro.__main__ import _bench_guard
+    rc = _bench_guard(report, str(baseline_path), max_regression)
+    return rc, capsys.readouterr()
+
+
+def test_bench_guard_missing_baseline_says_how_to_create_one(
+        tmp_path, capsys):
+    rc, out = _guard(GUARD_REPORT, tmp_path / "absent.json", capsys)
+    assert rc == 2
+    assert "does not exist" in out.err
+    assert "python -m repro bench -o" in out.err
+
+
+def test_bench_guard_invalid_json_is_diagnosed_not_raised(
+        tmp_path, capsys):
+    path = tmp_path / "torn.json"
+    path.write_text('{"event_loop": {"events_per_s')
+    rc, out = _guard(GUARD_REPORT, path, capsys)
+    assert rc == 2
+    assert "not valid JSON" in out.err
+
+
+def test_bench_guard_schema_skew_names_what_is_missing(tmp_path, capsys):
+    path = tmp_path / "old-schema.json"
+    path.write_text(json.dumps({"version": 1, "micro": {"alloc": 3}}))
+    rc, out = _guard(GUARD_REPORT, path, capsys)
+    assert rc == 2
+    assert "event_loop" in out.err and "micro" in out.err
+    assert "python -m repro bench -o" in out.err
+
+    path.write_text(json.dumps([1, 2, 3]))  # not even a mapping
+    rc, out = _guard(GUARD_REPORT, path, capsys)
+    assert rc == 2 and "list" in out.err
+
+
+def test_bench_guard_passes_and_fails_on_the_headline(tmp_path, capsys):
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps(
+        {"event_loop": {"events_per_sec": 90.0},
+         "end_to_end": {"events_per_sec": 45.0}}))
+    rc, out = _guard(GUARD_REPORT, path, capsys)
+    assert rc == 0 and "OK" in out.out
+
+    slow = {"event_loop": {"events_per_sec": 10.0},
+            "end_to_end": {"events_per_sec": 45.0}}
+    rc, out = _guard(slow, path, capsys)
+    assert rc == 1 and "REGRESSION" in out.out
+
+
+def test_bench_guard_skips_sections_this_run_did_not_measure(
+        tmp_path, capsys):
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps(
+        {"event_loop": {"events_per_sec": 90.0},
+         "end_to_end": {"events_per_sec": 45.0}}))
+    rc, out = _guard({"event_loop": {"events_per_sec": 100.0}},
+                     path, capsys)
+    assert rc == 0
+    assert "skipped that section" in out.out

@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.perf.cells import CELL_RUNNERS, run_cell
-from repro.perf.pool import SweepCell, parse_workers, run_cells
+from repro.perf.pool import CellFailure, SweepCell, parse_workers, run_cells
 
 TINY = dict(document="/doc-1", warmup_s=0.05, measure_s=0.1)
 
@@ -81,6 +81,66 @@ def test_parse_workers():
     assert parse_workers("4") == 4
     with pytest.raises(ValueError):
         parse_workers("-1")
+
+
+# ----------------------------------------------------------------------
+# Failure containment: a dying worker costs its cell, not the sweep
+# ----------------------------------------------------------------------
+def _ok_cell(key, value):
+    return SweepCell(key=key, runner="crash-injection",
+                     params=dict(mode="ok", value=value))
+
+
+def test_killed_worker_cell_is_requeued_and_succeeds(tmp_path):
+    marker = str(tmp_path / "died-once")
+    cells = [
+        _ok_cell("a", 1),
+        SweepCell(key="killer", runner="crash-injection",
+                  params=dict(mode="kill-once", marker_path=marker,
+                              value=42)),
+        _ok_cell("b", 2),
+    ]
+    done = []
+    merged = run_cells(cells, workers=2,
+                       on_cell_done=lambda c, r: done.append(c.key))
+    # Everybody recovered: the killer died once (marker exists), was
+    # requeued into a fresh pool, and produced its real result; the
+    # innocent cells either finished first or were requeued too.
+    assert merged == {"a": {"value": 1}, "killer": {"value": 42},
+                      "b": {"value": 2}}
+    assert sorted(done) == ["a", "b", "killer"]
+
+
+def test_repeat_killer_is_abandoned_but_innocents_survive(tmp_path):
+    cells = [
+        _ok_cell("a", 1),
+        SweepCell(key="killer", runner="crash-injection",
+                  params=dict(mode="kill-always")),
+        _ok_cell("b", 2),
+    ]
+    done = []
+    merged = run_cells(cells, workers=2,
+                       on_cell_done=lambda c, r: done.append(c.key))
+    assert merged["a"] == {"value": 1}
+    assert merged["b"] == {"value": 2}
+    failure = merged["killer"]
+    assert isinstance(failure, CellFailure)
+    assert failure.kind == "worker-crash"
+    assert failure.requeued
+    # Failures are never handed to the cache-persist callback.
+    assert sorted(done) == ["a", "b"]
+
+
+def test_raising_cell_is_surfaced_not_raised():
+    cells = [_ok_cell("a", 1),
+             SweepCell(key="boom", runner="crash-injection",
+                       params=dict(mode="raise"))]
+    merged = run_cells(cells, workers=2)
+    assert merged["a"] == {"value": 1}
+    failure = merged["boom"]
+    assert isinstance(failure, CellFailure)
+    assert failure.kind == "exception"
+    assert "RuntimeError" in failure.error
 
 
 def test_figure9_parallel_sweep_matches_serial_and_resumes(tmp_path):

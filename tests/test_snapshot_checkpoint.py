@@ -15,7 +15,8 @@ import sys
 import pytest
 
 from repro.chaos import ChaosRun
-from repro.snapshot import (CheckpointFormatError, CheckpointVersionError,
+from repro.snapshot import (CheckpointError, CheckpointFormatError,
+                            CheckpointVersionError,
                             ExperimentRun, RestoreMismatchError, RunDriver,
                             load_checkpoint, save_checkpoint)
 
@@ -49,7 +50,7 @@ def test_version_mismatch_is_a_clear_error(tmp_path):
     path = str(tmp_path / "x.ckpt")
     save_checkpoint(path, {"kind": "checkpoint"})
     data = open(path, "rb").read()
-    open(path, "wb").write(data.replace(b"ESCKPT 1\n", b"ESCKPT 99\n", 1))
+    open(path, "wb").write(data.replace(b"ESCKPT 2\n", b"ESCKPT 99\n", 1))
     with pytest.raises(CheckpointVersionError,
                        match="version 99 is not supported"):
         load_checkpoint(path)
@@ -62,13 +63,41 @@ def test_not_a_checkpoint_file(tmp_path):
         load_checkpoint(path)
 
 
-def test_corrupt_payload(tmp_path):
+def test_truncated_trailer_is_rejected(tmp_path):
     path = str(tmp_path / "x.ckpt")
     save_checkpoint(path, {"kind": "checkpoint"})
     data = open(path, "rb").read()
-    open(path, "wb").write(data[:-7])  # truncate the gzip stream
-    with pytest.raises(CheckpointFormatError, match="corrupt"):
+    open(path, "wb").write(data[:-7])  # chop into the CRC trailer
+    with pytest.raises(CheckpointFormatError, match="truncated"):
         load_checkpoint(path)
+
+
+@pytest.mark.parametrize("keep_fraction", [0.25, 0.5, 0.9])
+def test_chopped_file_is_rejected_at_any_cut(tmp_path, keep_fraction):
+    # A run SIGKILLed mid-write must never leave a file load() accepts:
+    # no proper byte prefix of a valid checkpoint is a valid checkpoint.
+    path = str(tmp_path / "x.ckpt")
+    save_checkpoint(path, {"kind": "checkpoint", "blob": list(range(200))})
+    data = open(path, "rb").read()
+    open(path, "wb").write(data[:int(len(data) * keep_fraction)])
+    with pytest.raises(CheckpointError):
+        load_checkpoint(path)
+
+
+def test_flipped_payload_byte_fails_the_crc(tmp_path):
+    path = str(tmp_path / "x.ckpt")
+    save_checkpoint(path, {"kind": "checkpoint", "blob": list(range(200))})
+    data = bytearray(open(path, "rb").read())
+    data[len(data) // 2] ^= 0xFF  # corrupt one byte inside the gzip body
+    open(path, "wb").write(bytes(data))
+    with pytest.raises(CheckpointFormatError, match="CRC mismatch"):
+        load_checkpoint(path)
+
+
+def test_save_leaves_no_temp_file(tmp_path):
+    path = str(tmp_path / "x.ckpt")
+    save_checkpoint(path, {"kind": "checkpoint"})
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["x.ckpt"]
 
 
 # ----------------------------------------------------------------------
@@ -175,7 +204,7 @@ def test_figure9_version_skewed_cache_errors(tmp_path):
     path = tmp_path / "figure9-cells.ckpt"
     save_checkpoint(str(path), {"kind": "figure9-cells", "cells": {}})
     data = path.read_bytes()
-    path.write_bytes(data.replace(b"ESCKPT 1\n", b"ESCKPT 2\n", 1))
+    path.write_bytes(data.replace(b"ESCKPT 2\n", b"ESCKPT 99\n", 1))
     with pytest.raises(CheckpointVersionError):
         run_figure9(client_counts=[2], configs=["accounting"],
                     warmup_s=0.1, measure_s=0.2,

@@ -1,0 +1,283 @@
+"""Supervised execution: SIGKILL-anywhere resume, hang detection, degrade.
+
+The crash-only acceptance story, test-sized: a supervised child killed at
+a seeded event index resumes from last-checkpoint + journal fast-forward
+and produces the byte-identical digest and replay fingerprint of an
+uninterrupted in-process run; a hung child is detected by missed
+heartbeats within the wall-clock timeout; a run that dies on every
+attempt exhausts its bounded retry budget and is *recorded* as failed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.snapshot import RunDriver, RunJournal, save_checkpoint
+from repro.snapshot.runs import run_from_spec
+from repro.supervise import (JournalMismatchError, RunState, Supervisor,
+                             SupervisedResult, crash_injection_selftest,
+                             resume_driver, supervision_verdict)
+from repro.supervise.harness import reference_outcome, selftest_spec
+from repro.supervise.state import read_json, write_json_atomic
+
+SMALL_SPEC = {
+    "run": "experiment", "config": "accounting", "clients": 2,
+    "document": "/doc-1k", "syn_rate": 200, "untrusted_cap": 16,
+    "cgi_attackers": 0, "cgi_script": "loop", "qos": False,
+    "warmup_s": 0.1, "measure_s": 0.3,
+}
+
+
+def small_supervisor(tmp_path, name="s", **kwargs):
+    kwargs.setdefault("max_attempts", 2)
+    kwargs.setdefault("backoff_base_s", 0.01)
+    kwargs.setdefault("heartbeat_every_events", 100)
+    kwargs.setdefault("checkpoint_every_events", 1500)
+    return Supervisor(str(tmp_path / name), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# State directory + resume (in-process, no subprocesses)
+# ----------------------------------------------------------------------
+def test_write_json_atomic_round_trip_and_no_residue(tmp_path):
+    path = str(tmp_path / "x.json")
+    write_json_atomic(path, {"b": 2, "a": [1, 2]})
+    assert read_json(path) == {"b": 2, "a": [1, 2]}
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["x.json"]
+    assert read_json(str(tmp_path / "absent.json")) is None
+    open(path, "w").write("{not json")
+    assert read_json(path) is None
+
+
+def test_resume_driver_fresh_directory_starts_at_zero(tmp_path):
+    state = RunState(str(tmp_path / "s")).ensure()
+    driver, info = resume_driver(state, SMALL_SPEC)
+    assert info["resumed_events"] == 0
+    assert not info["from_checkpoint"]
+    assert driver.sim.now == 0
+
+
+def test_resume_driver_fast_forwards_from_journal_alone(tmp_path):
+    state = RunState(str(tmp_path / "s")).ensure()
+    driver = RunDriver(run_from_spec(SMALL_SPEC))
+    with RunJournal(state.journal_path, spec=SMALL_SPEC) as journal:
+        driver.journal = journal
+        while driver.milestones_done < 3:
+            driver.step()
+    resumed, info = resume_driver(state, SMALL_SPEC)
+    assert info["resumed_events"] == driver.sim.events_processed
+    assert info["resumed_milestones"] == 3
+    assert not info["from_checkpoint"]
+    assert resumed.run.digest() == driver.run.digest()
+
+
+def test_resume_driver_prefers_checkpoint_then_journal(tmp_path):
+    state = RunState(str(tmp_path / "s")).ensure()
+    driver = RunDriver(run_from_spec(SMALL_SPEC))
+    with RunJournal(state.journal_path, spec=SMALL_SPEC) as journal:
+        driver.journal = journal
+        while driver.milestones_done < 2:
+            driver.step()
+        driver.checkpoint(state.checkpoint_path)
+        ckpt_events = driver.sim.events_processed
+        while driver.milestones_done < 3:
+            driver.step()
+    resumed, info = resume_driver(state, SMALL_SPEC)
+    assert info["from_checkpoint"]
+    assert info["resumed_events"] == driver.sim.events_processed > ckpt_events
+    assert resumed.run.digest() == driver.run.digest()
+
+
+def test_resume_driver_survives_a_torn_checkpoint(tmp_path):
+    state = RunState(str(tmp_path / "s")).ensure()
+    driver = RunDriver(run_from_spec(SMALL_SPEC))
+    with RunJournal(state.journal_path, spec=SMALL_SPEC) as journal:
+        driver.journal = journal
+        while driver.milestones_done < 2:
+            driver.step()
+        driver.checkpoint(state.checkpoint_path)
+    data = open(state.checkpoint_path, "rb").read()
+    open(state.checkpoint_path, "wb").write(data[:len(data) // 2])
+    resumed, info = resume_driver(state, SMALL_SPEC)
+    assert not info["from_checkpoint"]  # fell back to the journal
+    assert info["resumed_events"] == driver.sim.events_processed
+    assert resumed.run.digest() == driver.run.digest()
+
+
+def test_resume_driver_rejects_foreign_journal(tmp_path):
+    state = RunState(str(tmp_path / "s")).ensure()
+    with RunJournal(state.journal_path, spec={"run": "experiment",
+                                              "clients": 99}):
+        pass
+    with pytest.raises(JournalMismatchError, match="different run"):
+        resume_driver(state, SMALL_SPEC)
+
+
+def test_resume_driver_rejects_doctored_digest(tmp_path):
+    state = RunState(str(tmp_path / "s")).ensure()
+    driver = RunDriver(run_from_spec(SMALL_SPEC))
+    with RunJournal(state.journal_path, spec=SMALL_SPEC) as journal:
+        driver.journal = journal
+        while driver.milestones_done < 2:
+            driver.step()
+        journal.append({"kind": "milestone", "tick": driver.sim.now,
+                        "seq": driver.sim.seq,
+                        "events": driver.sim.events_processed,
+                        "milestones_done": driver.milestones_done,
+                        "digest": "0" * 64})
+    with pytest.raises(JournalMismatchError, match="digest"):
+        resume_driver(state, SMALL_SPEC)
+
+
+# ----------------------------------------------------------------------
+# Verdict shaping (no subprocesses)
+# ----------------------------------------------------------------------
+def test_supervision_verdict_for_a_gave_up_run():
+    sres = SupervisedResult(ok=False, classification="hang",
+                            state_dir="/x")
+    verdict = supervision_verdict(sres)
+    assert verdict["ok"] is False
+    assert verdict["failures"] == ["supervision:hang"]
+    assert verdict["digest"] == ""
+
+
+def test_supervision_verdict_passes_through_a_graded_result():
+    inner = {"ok": True, "failures": [], "digest": "d", "events": 5,
+             "detail": "x"}
+    sres = SupervisedResult(ok=True, classification="ok", state_dir="/x",
+                            result={"digest": "d", "events": 5,
+                                    "verdict": inner})
+    assert supervision_verdict(sres) == inner
+
+
+# ----------------------------------------------------------------------
+# Supervised children (subprocess-spawning; marked)
+# ----------------------------------------------------------------------
+@pytest.mark.supervise
+def test_supervised_run_matches_in_process_reference(tmp_path):
+    ref = reference_outcome(SMALL_SPEC)
+    sres = small_supervisor(tmp_path).run(SMALL_SPEC)
+    assert sres.ok and sres.classification == "ok"
+    assert [a.classification for a in sres.attempts] == ["ok"]
+    assert sres.digest == ref["digest"]
+    assert sres.fingerprint == ref["fingerprint"]
+    assert sres.result["events"] == ref["events"]
+    assert sres.attempts[0].heartbeats > 0
+
+
+@pytest.mark.supervise
+def test_sigkill_at_seeded_point_resumes_byte_identical(tmp_path):
+    ref = reference_outcome(SMALL_SPEC)
+    kill_at = ref["events"] * 2 // 3
+    sup = small_supervisor(tmp_path)
+    sres = sup.run(SMALL_SPEC, inject={"mode": "kill",
+                                       "after_events": kill_at,
+                                       "on_attempt": 1})
+    assert [a.classification for a in sres.attempts] == \
+        ["signal:SIGKILL", "ok"]
+    assert sres.ok
+    assert sres.digest == ref["digest"]
+    assert sres.fingerprint == ref["fingerprint"]
+    # The retry genuinely resumed — it did not silently start over.
+    assert sres.result["resume"]["resumed_events"] > 0
+    assert sres.attempts[0].backoff_s > 0
+
+
+@pytest.mark.supervise
+def test_hang_is_detected_within_heartbeat_timeout_and_recovered(tmp_path):
+    ref = reference_outcome(SMALL_SPEC)
+    sup = small_supervisor(tmp_path, heartbeat_timeout_s=1.5)
+    sres = sup.run(SMALL_SPEC, inject={"mode": "hang",
+                                       "after_events": ref["events"] // 2,
+                                       "on_attempt": 1})
+    assert [a.classification for a in sres.attempts] == ["hang", "ok"]
+    assert sres.attempts[0].returncode < 0  # we SIGKILLed it
+    assert sres.ok and sres.digest == ref["digest"]
+
+
+@pytest.mark.supervise
+def test_retry_budget_bounds_a_run_that_always_dies(tmp_path):
+    sres = small_supervisor(tmp_path).run(
+        SMALL_SPEC, inject={"mode": "kill", "after_events": 500,
+                            "on_attempt": 0})
+    assert sres.gave_up
+    assert [a.classification for a in sres.attempts] == \
+        ["signal:SIGKILL", "signal:SIGKILL"]
+    assert supervision_verdict(sres)["failures"] == \
+        ["supervision:signal:SIGKILL"]
+
+
+@pytest.mark.supervise
+def test_raising_run_is_classified_as_exception(tmp_path):
+    bad_spec = {"run": "chaos", "scenario": "no-such-scenario", "seed": 1,
+                "rollback": False}
+    sres = small_supervisor(tmp_path, max_attempts=1).run(bad_spec)
+    assert sres.gave_up
+    assert sres.classification == "exception:KeyError"
+    assert sres.error["type"] == "KeyError"
+    assert supervision_verdict(sres)["failures"] == \
+        ["supervision:exception:KeyError"]
+
+
+@pytest.mark.supervise
+def test_graded_child_carries_an_oracle_verdict(tmp_path):
+    spec = selftest_spec("chaos")
+    sres = small_supervisor(tmp_path).run(spec, grade=True)
+    assert sres.ok
+    verdict = sres.result["verdict"]
+    assert set(verdict) == {"ok", "failures", "digest", "events", "detail"}
+    assert verdict["digest"] == sres.digest
+    assert supervision_verdict(sres) == verdict
+
+
+@pytest.mark.supervise
+def test_selftest_harness_end_to_end(tmp_path):
+    report = crash_injection_selftest(
+        str(tmp_path), kinds=("experiment",), kill_points=1,
+        hang=False, gave_up=False)
+    assert report.ok
+    assert len(report.cases) == 1
+    assert "1/1 cases passed" in report.summary()
+
+
+@pytest.mark.supervise
+def test_figure9_supervised_matches_serial(tmp_path):
+    from repro.experiments.figure9 import run_figure9
+
+    kw = dict(client_counts=[2], configs=["accounting"], syn_rate=300,
+              untrusted_cap=16, warmup_s=0.1, measure_s=0.2)
+    serial = run_figure9(**kw)
+    supervised = run_figure9(checkpoint_dir=str(tmp_path / "ckpt"),
+                             supervised=True, **kw)
+    assert supervised.series == serial.series
+    assert supervised.syn_stats == serial.syn_stats
+    # The supervised sweep persisted its cells into the same cache the
+    # unsupervised path resumes from.
+    import os.path
+    assert os.path.exists(tmp_path / "ckpt" / "figure9-cells.ckpt")
+
+
+@pytest.mark.supervise
+def test_campaign_supervised_matches_oracle_verdicts(tmp_path):
+    from repro.resilience.campaign import explore
+
+    kw = dict(target="chaos", seed=5, budget=2, minimize=False)
+    plain = explore(**kw)
+    supervised = explore(supervised=True,
+                         supervise_dir=str(tmp_path / "state"),
+                         cache_dir=str(tmp_path / "cache"), **kw)
+    assert supervised.verdicts == plain.verdicts
+
+
+@pytest.mark.supervise
+def test_state_dir_survives_stale_outcome_files(tmp_path):
+    # A result.json left by a previous (different) attempt must not leak
+    # into a fresh supervised run's outcome.
+    sup = small_supervisor(tmp_path)
+    sup.state.write_result({"ok": True, "digest": "stale", "events": 0,
+                            "fingerprint": []})
+    ref = reference_outcome(SMALL_SPEC)
+    sres = sup.run(SMALL_SPEC)
+    assert sres.ok and sres.digest == ref["digest"]
