@@ -37,6 +37,12 @@ Subcommands:
   delta-debugs every failure to a certified 1-minimal reproducer;
   ``minimize`` shrinks one case; ``corpus`` replays the banked regression
   corpus exactly (exit 1 on any fingerprint or digest drift);
+* ``obs`` — query the telemetry a run with ``--obs`` left behind:
+  ``summary`` / ``series`` / ``explain --kill <path>`` (the causal chain
+  monitor signal → defense rung → watchdog detection → pathKill) /
+  ``diff`` (byte-level determinism check between two runs' telemetry);
+  the ``chaos``/``experiment``/``defense``/``cluster``/``supervise``
+  entry points all take ``--obs [--obs-dir DIR]`` to record it;
 * ``supervise`` — crash-only execution of any replayable run spec in a
   supervised child process: heartbeat-based hang detection, SIGKILL-
   anywhere resume from checkpoint + write-ahead journal, bounded
@@ -55,6 +61,18 @@ import sys
 def _print_checkpoint_error(exc) -> int:
     print(f"error: {exc}", file=sys.stderr)
     return 2
+
+
+def _add_obs_args(parser) -> None:
+    """The shared ``--obs`` / ``--obs-dir`` options."""
+    parser.add_argument("--obs", action="store_true",
+                        help="record deterministic telemetry (metrics "
+                             "series, causal spans, flight-recorder "
+                             "sidecar) for one instrumented cell; query "
+                             "it afterwards with `python -m repro obs`")
+    parser.add_argument("--obs-dir", default="obs-out",
+                        help="directory for the telemetry sidecar and "
+                             "dumps (default: ./obs-out)")
 
 
 def _add_perf_args(parser) -> None:
@@ -96,6 +114,7 @@ def chaos_main(argv) -> int:
                         help="run the scenario matrix on N worker "
                              "processes (ignored with --checkpoint-every "
                              "or --resume)")
+    _add_obs_args(parser)
     args = parser.parse_args(argv)
 
     from repro.chaos import list_scenarios, run_scenario
@@ -124,6 +143,19 @@ def chaos_main(argv) -> int:
 
     names = ([args.scenario] if args.scenario
              else [n for n, _ in list_scenarios()])
+
+    if args.obs:
+        from repro.chaos import ChaosRun
+        from repro.obs import run_with_obs
+        if names[0] not in dict(list_scenarios()):
+            print(f"unknown scenario {names[0]!r}")
+            return 2
+        run = ChaosRun(names[0], args.seed, use_rollback=args.rollback)
+        report, session = run_with_obs(run, args.obs_dir)
+        print(report.summary())
+        print()
+        print(session.describe())
+        return 0 if report.ok else 1
 
     if args.workers > 1 and not args.checkpoint_every and len(names) > 1:
         from repro.perf.pool import SweepCell, run_cells
@@ -193,6 +225,7 @@ def experiment_main(argv) -> int:
                         metavar="S")
     parser.add_argument("--checkpoint-dir", default="checkpoints")
     parser.add_argument("--resume", default=None, metavar="CKPT")
+    _add_obs_args(parser)
     args = parser.parse_args(argv)
 
     from repro.snapshot import CheckpointError, ExperimentRun, RunDriver
@@ -209,12 +242,19 @@ def experiment_main(argv) -> int:
                 cgi_attackers=args.cgi_attackers, qos=args.qos,
                 warmup_s=args.warmup, measure_s=args.measure)
             driver = RunDriver(run)
+        session = None
+        if args.obs:
+            from repro.obs import attach_obs
+            session = attach_obs(driver, args.obs_dir)
         if args.checkpoint_every:
             result, written = driver.run_with_checkpoints(
                 args.checkpoint_every, args.checkpoint_dir, "experiment")
             print(f"({len(written)} checkpoint(s) in {args.checkpoint_dir})")
         else:
             result = driver.run_all()
+        if session is not None:
+            session.finish()
+            print(session.describe())
     except CheckpointError as exc:
         return _print_checkpoint_error(exc)
 
@@ -397,6 +437,7 @@ def defense_main(argv) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 unless adaptive meets the 80%% "
                              "recovery target on every attack")
+    _add_obs_args(parser)
     _add_perf_args(parser)
     args = parser.parse_args(argv)
 
@@ -410,6 +451,21 @@ def defense_main(argv) -> int:
         ok = _defense_replay_check(attacks[0], seeds[0], args)
         if not ok:
             return 1
+        print()
+
+    if args.obs:
+        from repro.defense.run import DefenseRun
+        from repro.obs import run_with_obs
+        run = DefenseRun(attacks[0], adaptive=True, seed=seeds[0],
+                         clients=args.clients, document=args.document,
+                         syn_rate=args.syn_rate,
+                         syn_ramp_to=args.syn_ramp_to,
+                         syn_ramp_s=args.syn_ramp_s,
+                         cgi_attackers=args.cgi_attackers,
+                         warmup_s=args.warmup, measure_s=args.measure)
+        _, session = run_with_obs(run, args.obs_dir)
+        print(f"instrumented adaptive cell: {attacks[0]} seed={seeds[0]}")
+        print(session.describe())
         print()
 
     with maybe_profiled(args.profile):
@@ -488,6 +544,7 @@ def cluster_main(argv) -> int:
                         help="exit 1 unless the replicated cluster meets "
                              "the 70%% recovery target and the single "
                              "replica collapses")
+    _add_obs_args(parser)
     _add_perf_args(parser)
     args = parser.parse_args(argv)
 
@@ -500,6 +557,22 @@ def cluster_main(argv) -> int:
     if args.replay_check:
         if not _cluster_replay_check(max(sizes), seeds[0], args):
             return 1
+        print()
+
+    if args.obs:
+        from repro.cluster.run import ClusterRun
+        from repro.obs import run_with_obs
+        run = ClusterRun("crash", replicas=max(sizes), seed=seeds[0],
+                         clients=args.clients, document=args.document,
+                         syn_rate=args.syn_rate,
+                         syn_ramp_to=args.syn_ramp_to,
+                         syn_ramp_s=args.syn_ramp_s,
+                         chaos_at_s=args.chaos_at,
+                         chaos_restore_s=args.chaos_restore,
+                         warmup_s=args.warmup, measure_s=args.measure)
+        _, session = run_with_obs(run, args.obs_dir)
+        print(f"instrumented crash cell: n={max(sizes)} seed={seeds[0]}")
+        print(session.describe())
         print()
 
     with maybe_profiled(args.profile):
@@ -602,6 +675,15 @@ def bench_main(argv) -> int:
     parser.add_argument("--alloc-profile", action="store_true",
                         help="skip the benchmarks; profile allocation "
                              "sites of one end-to-end run via tracemalloc")
+    parser.add_argument("--obs-overhead", action="store_true",
+                        help="also measure the events/sec cost of an "
+                             "attached observability session (one "
+                             "adaptive defense cell, obs-off vs obs-on)")
+    parser.add_argument("--obs-budget", type=float, default=0.05,
+                        metavar="FRAC",
+                        help="with --obs-overhead: allowed throughput "
+                             "fraction lost obs-on (default 0.05 = 5%%); "
+                             "exceeding it fails the run")
     args = parser.parse_args(argv)
 
     from repro.perf.bench import (
@@ -614,13 +696,30 @@ def bench_main(argv) -> int:
     report = run_bench(quick=args.quick,
                        output=None if args.output == "-" else args.output,
                        skip_sweep=args.skip_sweep,
-                       skip_micro=args.skip_micro)
+                       skip_micro=args.skip_micro,
+                       obs_overhead=args.obs_overhead)
     print(format_report(report))
     if args.output != "-":
         print(f"wrote {args.output}")
+    rc = 0
     if args.baseline:
-        return _bench_guard(report, args.baseline, args.max_regression)
-    return 0
+        rc = _bench_guard(report, args.baseline, args.max_regression)
+    if args.obs_overhead:
+        obs = report["obs_overhead"]
+        if not obs["digests_identical"]:
+            print("FAIL: obs-on digest diverged from obs-off — the "
+                  "observer perturbed the run", file=sys.stderr)
+            return 1
+        verdict = "OK" if obs["overhead_frac"] <= args.obs_budget \
+            else "OVER BUDGET"
+        print(f"obs guard: {obs['overhead_frac']:.1%} overhead vs "
+              f"{args.obs_budget:.0%} budget: {verdict}")
+        if obs["overhead_frac"] > args.obs_budget:
+            print(f"FAIL: obs overhead {obs['overhead_frac']:.1%} "
+                  f"exceeds budget {args.obs_budget:.0%}",
+                  file=sys.stderr)
+            return 1
+    return rc
 
 
 def _bench_guard(report, baseline_path: str, max_regression: float) -> int:
@@ -891,6 +990,12 @@ def resilience_main(argv) -> int:
     return 1 if bad else 0
 
 
+def obs_main(argv) -> int:
+    """Query a run's telemetry sidecar (summary/series/explain/diff)."""
+    from repro.obs.cli import obs_main as run_obs
+    return run_obs(argv)
+
+
 def supervise_main(argv) -> int:
     """Crash-only supervised execution of one replayable run spec."""
     parser = argparse.ArgumentParser(
@@ -950,6 +1055,7 @@ def supervise_main(argv) -> int:
                              "kind (default 3)")
     parser.add_argument("--seed", type=int, default=990417,
                         help="with --selftest: the kill-point seed")
+    _add_obs_args(parser)
     args = parser.parse_args(argv)
 
     import tempfile
@@ -991,7 +1097,8 @@ def supervise_main(argv) -> int:
     sup = Supervisor(state_dir, max_attempts=args.max_attempts,
                      heartbeat_timeout_s=args.heartbeat_timeout,
                      checkpoint_every_events=args.checkpoint_every)
-    sres = sup.run(spec, grade=args.grade, inject=inject)
+    sres = sup.run(spec, grade=args.grade, inject=inject,
+                   obs_dir=args.obs_dir if args.obs else None)
 
     for a in sres.attempts:
         line = (f"attempt {a.attempt}: {a.classification} "
@@ -1000,6 +1107,9 @@ def supervise_main(argv) -> int:
             line += f"; backoff {a.backoff_s:.2f}s before retry"
         print(line + ")")
     print(f"state dir: {sres.state_dir}")
+    if args.obs:
+        print(f"telemetry: {args.obs_dir} (query with "
+              f"`python -m repro obs summary --obs-dir {args.obs_dir}`)")
     if sres.ok:
         r = sres.result
         resumed = r["resume"]["resumed_events"]
@@ -1038,6 +1148,7 @@ _SUBCOMMANDS = {
     "replay": replay_main,
     "resilience": resilience_main,
     "supervise": supervise_main,
+    "obs": obs_main,
 }
 
 

@@ -143,6 +143,9 @@ class Watchdog:
         self._rollbacks_by_domain: Dict[str, int] = {}
         self._offended_names: set = set()
         self._running = False
+        #: Attached :class:`~repro.obs.session.ObsSession`, if any — a
+        #: pure observer notified per log entry and per scan.
+        self.obs = None
 
         # Per-scan-window cycle observation.
         self._window: Dict[object, int] = {}
@@ -226,6 +229,8 @@ class Watchdog:
             self._family_backoff.clear()
 
         self._window.clear()
+        if self.obs is not None:
+            self.obs.on_watchdog_scan(self)
         # The scan walked kernel tables: charge it like any other
         # interrupt-level kernel work.
         self.kernel.cpu.post_interrupt(Interrupt(
@@ -435,9 +440,12 @@ class Watchdog:
 
     # ------------------------------------------------------------------
     def _log(self, kind: str, subject: str, detail: str = "") -> None:
-        self.log.append(WatchdogAction(
+        action = WatchdogAction(
             at_s=ticks_to_seconds(self.kernel.sim.now),
-            kind=kind, subject=subject, detail=detail))
+            kind=kind, subject=subject, detail=detail)
+        self.log.append(action)
+        if self.obs is not None:
+            self.obs.on_watchdog_action(self, action)
 
     def actions(self, kind: Optional[str] = None) -> List[WatchdogAction]:
         if kind is None:

@@ -105,6 +105,11 @@ class DefenseController:
         self._saved_quota = None
         self._saved_runtime_limit = None
         self._running = False
+        #: Attached :class:`~repro.obs.session.ObsSession`, if any.  The
+        #: session is a pure observer: notified after each scan (with the
+        #: signals sample already taken — never re-sampled, which would
+        #: double-update the EWMA baselines) and after each transition.
+        self.obs = None
 
         server.defense = self
         server.tcp.syn_gate = self._gate
@@ -142,6 +147,9 @@ class DefenseController:
         self._drive_syncookies(sig)
         self._drive_quota(sig)
         self._drive_degrade(sig)
+
+        if self.obs is not None:
+            self.obs.on_defense_scan(self, sig)
 
         kernel = self.server.kernel
         kernel.cpu.post_interrupt(Interrupt(
@@ -308,19 +316,25 @@ class DefenseController:
         self.absorbed += 1
         self._quota_pressure += 1
         self._quota_quiet = 0
-        self.log.append(DefenseAction(
+        action = DefenseAction(
             at_s=ticks_to_seconds(self.server.kernel.sim.now),
             kind="absorb", rung="watchdog",
-            detail=f"{owner.name} throttled instead of killed"))
+            detail=f"{owner.name} throttled instead of killed")
+        self.log.append(action)
+        if self.obs is not None:
+            self.obs.on_defense_transition(self, action)
         return True
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def _transition(self, kind: str, rung: str, detail: str) -> None:
-        self.log.append(DefenseAction(
+        action = DefenseAction(
             at_s=ticks_to_seconds(self.server.kernel.sim.now),
-            kind=kind, rung=rung, detail=detail))
+            kind=kind, rung=rung, detail=detail)
+        self.log.append(action)
+        if self.obs is not None:
+            self.obs.on_defense_transition(self, action)
 
     def actions(self, kind: Optional[str] = None) -> List[DefenseAction]:
         if kind is None:

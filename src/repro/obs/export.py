@@ -1,0 +1,108 @@
+"""Exporters: JSONL/JSON and Prometheus text dumps of an obs session.
+
+Three files land in the obs directory next to the ``obs.jrnl`` sidecar:
+
+* ``metrics.json`` — canonical (sorted-key, tight-separator) dump of the
+  registry: final values plus the tick-stamped series.  These are the
+  *byte-identity* bytes: two runs of the same seed must produce
+  identical files, and the sha256 of these bytes is what the recorder
+  stamps into its ``obs-final`` record.
+* ``metrics.prom`` — Prometheus text exposition (counters/gauges/
+  histograms with ``_bucket``/``_sum``/``_count``), for eyeballing or
+  scraping with standard tooling.
+* ``spans.jsonl`` — one span record per line, parents included, so the
+  causal chains survive without the sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, Tuple
+
+__all__ = ["prom_name", "prom_text", "write_dump"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+
+def _split_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """``"tcp.demux_drops{reason=x}"`` -> ``("tcp.demux_drops", {...})``."""
+    match = _KEY_RE.match(key)
+    if match is None:  # pragma: no cover - keys come from metric_key
+        return key, {}
+    labels: Dict[str, str] = {}
+    raw = match.group("labels")
+    if raw:
+        for part in raw.split(","):
+            name, _, value = part.partition("=")
+            labels[name] = value
+    return match.group("name"), labels
+
+
+def prom_name(name: str) -> str:
+    """Sanitize a dotted metric name for Prometheus exposition."""
+    return _NAME_RE.sub("_", name)
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{prom_name(k)}="{v}"'
+                     for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def prom_text(registry) -> str:
+    """Prometheus text exposition of a :class:`MetricsRegistry`."""
+    lines = []
+    typed = set()
+
+    def emit(kind, table):
+        for key in sorted(table):
+            name, labels = _split_key(key)
+            pname = prom_name(name)
+            if pname not in typed:
+                typed.add(pname)
+                lines.append(f"# TYPE {pname} {kind}")
+            lines.append(f"{pname}{_prom_labels(labels)} {table[key]}")
+
+    emit("counter", registry.counters)
+    emit("gauge", registry.gauges)
+    for key in sorted(registry.histograms):
+        name, labels = _split_key(key)
+        pname = prom_name(name)
+        if pname not in typed:
+            typed.add(pname)
+            lines.append(f"# TYPE {pname} histogram")
+        hist = registry.histograms[key]
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.buckets):
+            cumulative += count
+            lab = _prom_labels({**labels, "le": str(bound)})
+            lines.append(f"{pname}_bucket{lab} {cumulative}")
+        lab = _prom_labels({**labels, "le": "+Inf"})
+        lines.append(f"{pname}_bucket{lab} {hist.count}")
+        lines.append(f"{pname}_sum{_prom_labels(labels)} {hist.total}")
+        lines.append(f"{pname}_count{_prom_labels(labels)} {hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_dump(obs_dir: str, session) -> Dict[str, str]:
+    """Write metrics.json / metrics.prom / spans.jsonl into ``obs_dir``."""
+    os.makedirs(obs_dir, exist_ok=True)
+    paths = {
+        "metrics_json": os.path.join(obs_dir, "metrics.json"),
+        "metrics_prom": os.path.join(obs_dir, "metrics.prom"),
+        "spans_jsonl": os.path.join(obs_dir, "spans.jsonl"),
+    }
+    with open(paths["metrics_json"], "wb") as fh:
+        fh.write(session.metrics_json_bytes())
+    with open(paths["metrics_prom"], "w") as fh:
+        fh.write(prom_text(session.registry))
+    with open(paths["spans_jsonl"], "w") as fh:
+        for span in session.spans.spans:
+            fh.write(json.dumps(span.to_record(), sort_keys=True,
+                                separators=(",", ":")) + "\n")
+    return paths

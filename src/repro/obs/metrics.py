@@ -1,0 +1,142 @@
+"""The deterministic metrics registry.
+
+Every metric is keyed ``subsystem.name{label=value,...}`` (labels sorted,
+so a key has exactly one spelling) and carries only values derived from
+simulated state — ticks, cycle counts, rates computed on the simulated
+clock.  Nothing here reads the wall clock or allocates per simulated
+event, which is what makes the registry safe to leave attached to a
+deterministic run: the same seed produces the same key set, the same
+tick-stamped series, and a byte-identical :meth:`MetricsRegistry.dump`.
+
+Three metric kinds, mirroring the Prometheus model:
+
+* **counters** — monotonically increasing totals (``inc``), or absolute
+  mirrors of counters the machine already maintains (``counter_abs``);
+* **gauges** — point-in-time values (``gauge``);
+* **histograms** — fixed-bound bucket counts plus sum/count
+  (``observe``), for per-kill resource distributions.
+
+``sample(tick)`` snapshots every counter and gauge into its tick-stamped
+series; consecutive identical values are collapsed so an idle metric
+costs one entry, not one per sample.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (cycles/pages scale).
+DEFAULT_BOUNDS: Tuple[int, ...] = (
+    10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+
+__all__ = ["DEFAULT_BOUNDS", "Histogram", "MetricsRegistry", "metric_key"]
+
+
+def metric_key(subsystem: str, name: str, **labels) -> str:
+    """Canonical metric key: ``subsystem.name{a=1,b=x}`` (labels sorted)."""
+    base = f"{subsystem}.{name}"
+    if not labels:
+        return base
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{base}{{{inner}}}"
+
+
+class Histogram:
+    """Fixed-bound bucket counts with sum and count."""
+
+    __slots__ = ("bounds", "buckets", "total", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS):
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)  # +inf bucket last
+        self.total = 0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def snapshot(self) -> Dict:
+        out = {}
+        for bound, n in zip(self.bounds, self.buckets):
+            out[f"le_{bound}"] = n
+        out["le_inf"] = self.buckets[-1]
+        return {"buckets": out, "sum": self.total, "count": self.count}
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms with tick-stamped series."""
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: key -> [(tick, value), ...]; consecutive duplicates collapsed.
+        self.series: Dict[str, List[Tuple[int, float]]] = {}
+        self.samples_taken = 0
+        self.last_sample_tick: Optional[int] = None
+
+    # -- writes --------------------------------------------------------
+    def inc(self, key: str, delta: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + delta
+
+    def counter_abs(self, key: str, value) -> None:
+        """Mirror a counter the machine maintains itself (absolute)."""
+        self.counters[key] = value
+
+    def gauge(self, key: str, value) -> None:
+        self.gauges[key] = value
+
+    def observe(self, key: str, value,
+                bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram(bounds)
+        hist.observe(value)
+
+    # -- sampling ------------------------------------------------------
+    def sample(self, tick: int) -> None:
+        """Snapshot every counter and gauge into its series at ``tick``."""
+        self.samples_taken += 1
+        self.last_sample_tick = tick
+        for table in (self.counters, self.gauges):
+            for key, value in table.items():
+                points = self.series.get(key)
+                if points is None:
+                    points = self.series[key] = []
+                if points and points[-1][1] == value:
+                    continue
+                points.append((tick, value))
+
+    # -- reads ---------------------------------------------------------
+    def value(self, key: str):
+        if key in self.counters:
+            return self.counters[key]
+        return self.gauges.get(key)
+
+    def keys(self) -> List[str]:
+        return sorted(set(self.counters) | set(self.gauges)
+                      | set(self.histograms))
+
+    def snapshot(self) -> Dict:
+        """Final values only (no series) — the ``summary`` view."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {k: h.snapshot()
+                           for k, h in sorted(self.histograms.items())},
+            "samples_taken": self.samples_taken,
+            "last_sample_tick": self.last_sample_tick,
+        }
+
+    def dump(self) -> Dict:
+        """Everything, canonically ordered — the byte-identity artifact."""
+        out = self.snapshot()
+        out["series"] = {k: [[t, v] for t, v in pts]
+                         for k, pts in sorted(self.series.items())}
+        return out

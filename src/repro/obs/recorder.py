@@ -1,0 +1,155 @@
+"""The flight recorder: CRC-framed telemetry that survives SIGKILL.
+
+Telemetry streams into a journal *sidecar* (``obs.jrnl``) using the
+ESCJRNL framing from :mod:`repro.snapshot.journal` — the same header
+line, the same ``<crc32 hex8> <json>\\n`` records, the same crash-only
+scan where the first torn or corrupt line ends the trustworthy prefix.
+Record kinds::
+
+    obs-meta       run spec + attempt marker (one per writer attach)
+    sample         {"tick": T, "metrics": {key: value, ...}}
+    span           a parent-linked span record (see repro.obs.spans)
+    obs-final      sample/span totals + sha256 of the final metrics dump
+
+Durability policy differs from the run journal on purpose: the run
+journal fsyncs every record because resume *correctness* depends on it;
+the recorder only ``flush``\\ es per record (the OS page cache survives a
+SIGKILLed process) and fsyncs at milestones via :meth:`FlightRecorder.
+sync` — telemetry is evidence, not ground truth, so it buys back the
+per-record fsync cost.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.snapshot.journal import (JOURNAL_HEADER_LINE, JournalError,
+                                    decode_record, encode_record)
+
+#: Default sidecar filename inside an obs directory.
+SIDECAR_NAME = "obs.jrnl"
+
+__all__ = ["FlightRecorder", "ObsScan", "SIDECAR_NAME", "scan_obs"]
+
+
+@dataclass
+class ObsScan:
+    """Everything a reader recovered from a telemetry sidecar."""
+
+    meta: List[Dict] = field(default_factory=list)
+    samples: List[Dict] = field(default_factory=list)
+    span_records: List[Dict] = field(default_factory=list)
+    finals: List[Dict] = field(default_factory=list)
+    torn_tail: bool = False
+    records: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when the run wrote its final record (no crash mid-run)."""
+        return bool(self.finals) and not self.torn_tail
+
+    def final_metrics(self) -> Dict[str, float]:
+        """Last-seen value of every metric, from the sample stream.
+
+        Works on a torn (crashed) sidecar too — that is the point of the
+        flight recorder: the evidence up to the last flushed record.
+        """
+        out: Dict[str, float] = {}
+        for sample in self.samples:
+            out.update(sample.get("metrics", {}))
+        return out
+
+    def series(self, key: str) -> List:
+        """Tick-stamped values of one metric across the sample stream."""
+        points = []
+        last = None
+        for sample in self.samples:
+            metrics = sample.get("metrics", {})
+            if key in metrics and metrics[key] != last:
+                last = metrics[key]
+                points.append((sample["tick"], last))
+        return points
+
+
+def scan_obs(path: str) -> ObsScan:
+    """Read the trustworthy prefix of a telemetry sidecar."""
+    scan = ObsScan()
+    try:
+        with open(path, "rb") as fh:
+            lines = fh.readlines()
+    except OSError:
+        return scan
+    if not lines:
+        return scan
+    if lines[0] != JOURNAL_HEADER_LINE:
+        raise JournalError(
+            f"{path}: not a telemetry sidecar (bad header "
+            f"{lines[0][:24]!r})")
+    for line in lines[1:]:
+        record = decode_record(line)
+        if record is None:
+            scan.torn_tail = True
+            break
+        scan.records += 1
+        kind = record.get("kind")
+        if kind == "obs-meta":
+            scan.meta.append(record)
+        elif kind == "sample":
+            scan.samples.append(record)
+        elif kind == "span":
+            scan.span_records.append(record)
+        elif kind == "obs-final":
+            scan.finals.append(record)
+    return scan
+
+
+class FlightRecorder:
+    """Append-only CRC-framed telemetry writer.
+
+    ``append=False`` (the default) truncates and starts a fresh sidecar;
+    ``append=True`` extends an existing one (a supervised child resuming
+    after SIGKILL keeps the pre-crash telemetry and marks the new
+    attempt with its own ``obs-meta`` record).
+    """
+
+    def __init__(self, path: str, append: bool = False):
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        fresh = (not append or not os.path.exists(path)
+                 or os.path.getsize(path) == 0)
+        if not fresh:
+            scan_obs(path)  # validates the header; raises if alien
+        self._fh = open(path, "wb" if fresh or not append else "ab")
+        if fresh:
+            self._fh.write(JOURNAL_HEADER_LINE)
+            self._fh.flush()
+        self.records_written = 0
+
+    def record(self, record: Dict) -> None:
+        """Frame and write one record; flushed so SIGKILL cannot eat it."""
+        self._fh.write(encode_record(record))
+        self._fh.flush()
+        self.records_written += 1
+
+    def sync(self) -> None:
+        """fsync — called at milestones, not per record (see module doc)."""
+        self._fh.flush()
+        try:
+            os.fsync(self._fh.fileno())
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self.sync()
+            self._fh.close()
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -207,6 +207,10 @@ def bench_end_to_end(clients: int = 8, syn_rate: int = 1000,
         dt = time.perf_counter() - t0
         stats["events"] = driver.sim.events_processed
         stats["queue_health"] = driver.sim.queue_health()
+        attacker = getattr(run.bed, "syn_attacker", None)
+        pool = getattr(attacker, "pool", None)
+        if pool is not None:
+            stats["freelist"] = pool.stats()
         return dt
 
     wall = _best_of(once, reps)
@@ -218,6 +222,70 @@ def bench_end_to_end(clients: int = 8, syn_rate: int = 1000,
         "events": stats["events"],
         "events_per_sec": round(stats["events"] / wall),
         "queue_health": stats["queue_health"],
+        "freelist": stats.get("freelist"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Observability overhead
+# ----------------------------------------------------------------------
+def bench_obs_overhead(clients: int = 8, reps: int = 2,
+                       quick: bool = False) -> Dict:
+    """Events/sec of one adaptive defense cell, obs-off vs obs-on.
+
+    The obs-on leg attaches a full :class:`~repro.obs.session.ObsSession`
+    with a flight-recorder sidecar in a temp directory — the worst case a
+    user can switch on with ``--obs``.  Reports the throughput fraction
+    lost and whether the two legs' state digests matched (they must: the
+    session is a pure observer).  ``python -m repro bench --obs-overhead
+    --obs-budget 0.05`` gates on the fraction.
+    """
+    import shutil
+    import tempfile
+
+    from repro.defense.run import DefenseRun
+    from repro.obs import ObsSession
+    from repro.snapshot.driver import RunDriver
+    from repro.snapshot.runs import reset_ids
+
+    kw = dict(adaptive=True, seed=1, clients=clients,
+              syn_rate=200, syn_ramp_to=3000, syn_ramp_s=1.0,
+              warmup_s=0.2 if quick else 0.4,
+              measure_s=0.6 if quick else 1.5)
+    stats: Dict = {}
+
+    def once(obs: bool) -> float:
+        reset_ids()
+        run = DefenseRun("synflood", **kw)
+        driver = RunDriver(run)
+        session = None
+        obs_dir = None
+        if obs:
+            obs_dir = tempfile.mkdtemp(prefix="bench-obs-")
+            session = ObsSession(obs_dir).attach(driver)
+        t0 = time.perf_counter()
+        driver.run_all()
+        dt = time.perf_counter() - t0
+        key = "on" if obs else "off"
+        stats[f"events_{key}"] = driver.sim.events_processed
+        stats[f"digest_{key}"] = run.digest()
+        if session is not None:
+            session.finish()
+            shutil.rmtree(obs_dir, ignore_errors=True)
+        return dt
+
+    wall_off = _best_of(lambda: once(False), reps)
+    wall_on = _best_of(lambda: once(True), reps)
+    eps_off = stats["events_off"] / wall_off
+    eps_on = stats["events_on"] / wall_on
+    return {
+        "events": stats["events_off"],
+        "baseline_wall_s": round(wall_off, 4),
+        "obs_wall_s": round(wall_on, 4),
+        "baseline_events_per_sec": round(eps_off),
+        "obs_events_per_sec": round(eps_on),
+        "overhead_frac": round(max(0.0, 1.0 - eps_on / eps_off), 4),
+        "digests_identical": stats["digest_off"] == stats["digest_on"],
     }
 
 
@@ -261,7 +329,8 @@ def bench_sweep(worker_counts=(1, 2, 4), quick: bool = False) -> Dict:
 # Entry point
 # ----------------------------------------------------------------------
 def run_bench(quick: bool = False, output: str = "BENCH_sim.json",
-              skip_sweep: bool = False, skip_micro: bool = False) -> Dict:
+              skip_sweep: bool = False, skip_micro: bool = False,
+              obs_overhead: bool = False) -> Dict:
     """Run the full suite and write ``BENCH_sim.json``."""
     report = {
         "schema": SCHEMA,
@@ -280,6 +349,10 @@ def run_bench(quick: bool = False, output: str = "BENCH_sim.json",
             measure_s=0.3 if quick else 1.0,
             reps=1 if quick else 2),
     }
+    if obs_overhead:
+        report["obs_overhead"] = bench_obs_overhead(
+            clients=4 if quick else 8,
+            reps=1 if quick else 2, quick=quick)
     if not skip_micro:
         from repro.perf.microbench import run_microbench
         report["microbench"] = run_microbench(quick=quick)
@@ -361,6 +434,13 @@ def format_report(report: Dict) -> str:
     lines.append(f"  end-to-end    {e2e['wall_s']:>10.3f} s     "
                  f"({e2e['events']:,} events, "
                  f"{e2e['events_per_sec']:,} ev/s)")
+    obs = report.get("obs_overhead")
+    if obs:
+        match = "identical" if obs["digests_identical"] else "DIVERGED"
+        lines.append(f"  obs overhead  {obs['overhead_frac']:>11.1%}      "
+                     f"({obs['obs_events_per_sec']:,} ev/s on vs "
+                     f"{obs['baseline_events_per_sec']:,} off; "
+                     f"digests {match})")
     micro = report.get("microbench")
     if micro:
         churn = micro["timer_churn"]

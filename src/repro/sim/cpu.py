@@ -259,6 +259,9 @@ class CPU:
         self.busy_cycles = 0
         self.idle_cycles = 0
         self.interrupt_cycles = 0
+        #: Successful scheduler dispatches (observability counter only;
+        #: never part of the state digest).
+        self.picks = 0
 
     # ------------------------------------------------------------------
     # Charging
@@ -439,6 +442,7 @@ class CPU:
         if thread is None:
             self._enter_idle()
             return
+        self.picks += 1
         self._leave_idle()
         self.current = thread
         thread.state = _RUNNING

@@ -46,7 +46,8 @@ class TraceEvent:
 class Tracer:
     """Bounded structured event recorder."""
 
-    def __init__(self, sim: Simulator, capacity: int = 10_000):
+    def __init__(self, sim: Simulator, capacity: int = 10_000,
+                 span_log=None):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.sim = sim
@@ -55,6 +56,11 @@ class Tracer:
         self.dropped = 0
         self.enabled = True
         self.counts: Dict[str, int] = {}
+        #: Optional :class:`~repro.obs.spans.SpanLog` — every recorded
+        #: event is forwarded there too (parentless), so the flat ring
+        #: buffer and the causal span view stay consistent without
+        #: double instrumentation.
+        self.span_log = span_log
 
     # ------------------------------------------------------------------
     def record(self, kind: str, subject: str, detail: str = "") -> None:
@@ -64,6 +70,8 @@ class Tracer:
             self.dropped += 1
         self._events.append(TraceEvent(self.sim.now, kind, subject, detail))
         self.counts[kind] = self.counts.get(kind, 0) + 1
+        if self.span_log is not None:
+            self.span_log.add(kind, subject, detail, tick=self.sim.now)
 
     def events(self, kinds: Optional[Set[str]] = None,
                subject_contains: str = "") -> List[TraceEvent]:
@@ -108,14 +116,26 @@ class Tracer:
     # Server instrumentation
     # ------------------------------------------------------------------
     def instrument_server(self, server) -> None:
-        """Wrap a built :class:`ScoutWebServer`'s hot entry points."""
+        """Wrap a built :class:`ScoutWebServer`'s hot entry points.
+
+        Idempotent: each wrapper is marked, and an already-instrumented
+        entry point is left alone — calling this twice (or from two
+        cooperating tools) must not stack wrappers, which would record
+        every event twice and double the per-call overhead.
+        """
         self._wrap_demux(server)
         self._wrap_paths(server)
         self._wrap_kills(server)
 
+    @staticmethod
+    def _already_wrapped(fn) -> bool:
+        return getattr(fn, "_escort_traced", False)
+
     def _wrap_demux(self, server) -> None:
         demux = server.eth.demultiplexer
         original = demux.classify
+        if self._already_wrapped(original):
+            return
 
         def traced_classify(first_module, packet):
             result = original(first_module, packet)
@@ -127,11 +147,14 @@ class Tracer:
                             f"{result.modules_consulted} modules")
             return result
 
+        traced_classify._escort_traced = True
         demux.classify = traced_classify
 
     def _wrap_paths(self, server) -> None:
         manager = server.path_manager
         original_create = manager.path_create
+        if self._already_wrapped(original_create):
+            return
         tracer = self
 
         def traced_create(attrs, start_module, **kwargs):
@@ -140,11 +163,14 @@ class Tracer:
                           "-".join(s.module.name for s in path.stages))
             return path
 
+        traced_create._escort_traced = True
         manager.path_create = traced_create
 
     def _wrap_kills(self, server) -> None:
         kernel = server.kernel
         original = kernel.kill_owner
+        if self._already_wrapped(original):
+            return
 
         def traced_kill(owner, charge=True, record=True):
             report = original(owner, charge=charge, record=record)
@@ -153,6 +179,7 @@ class Tracer:
                         f"{report.domains_visited} domains")
             return report
 
+        traced_kill._escort_traced = True
         kernel.kill_owner = traced_kill
 
 

@@ -51,6 +51,11 @@ class RunDriver:
         #: RunJournal`); when attached, every performed milestone appends
         #: one durable position+digest record before execution continues.
         self.journal = None
+        #: Optional :class:`~repro.obs.session.ObsSession` — a pure
+        #: observer notified after each performed milestone.  It never
+        #: schedules events or charges cycles, so attaching one leaves
+        #: event order, ``sim.seq`` and every digest untouched.
+        self.obs = None
         if build:
             reset_ids()
             run.build()
@@ -92,6 +97,8 @@ class RunDriver:
             self._ms_done += 1
             if self.journal is not None:
                 self.journal.milestone(self)
+            if self.obs is not None:
+                self.obs.on_milestone(self, name)
         self.sim.run(until=tick)
 
     def run_all(self):
@@ -119,6 +126,8 @@ class RunDriver:
             self._ms_done += 1
             if self.journal is not None:
                 self.journal.milestone(self)
+            if self.obs is not None:
+                self.obs.on_milestone(self, name)
             return "milestone"
         return None
 

@@ -40,7 +40,8 @@ JOURNAL_MAGIC = b"ESCJRNL"
 JOURNAL_VERSION = 1
 _HEADER_LINE = JOURNAL_MAGIC + b" " + str(JOURNAL_VERSION).encode() + b"\n"
 
-__all__ = ["JournalError", "JournalScan", "RunJournal", "scan_journal"]
+__all__ = ["JournalError", "JournalScan", "RunJournal", "scan_journal",
+           "JOURNAL_HEADER_LINE", "encode_record", "decode_record"]
 
 
 class JournalError(Exception):
@@ -67,6 +68,7 @@ class JournalScan:
 
 
 def _encode(record: Dict) -> bytes:
+    """One dict -> CRC-framed record line (``<crc32 hex8> <json>\\n``)."""
     body = json.dumps(record, sort_keys=True,
                       separators=(",", ":")).encode()
     return format(zlib.crc32(body), "08x").encode() + b" " + body + b"\n"
@@ -87,6 +89,15 @@ def _decode(line: bytes) -> Optional[Dict]:
     except (ValueError, TypeError):
         return None
     return record if isinstance(record, dict) else None
+
+
+#: The reusable ESCJRNL framing, also used by the observability flight
+#: recorder (:mod:`repro.obs.recorder`) for its telemetry sidecar: the
+#: same header line, the same per-line ``<crc32 hex8> <json>\n`` records,
+#: the same crash-only torn-tail semantics.
+JOURNAL_HEADER_LINE = _HEADER_LINE
+encode_record = _encode
+decode_record = _decode
 
 
 def scan_journal(path: str) -> JournalScan:

@@ -165,6 +165,17 @@ def execute_job(state_dir: str, heartbeat_fd: Optional[int] = None) -> int:
         heartbeat.pulse()
         driver.journal = RunJournal(state.journal_path, spec=spec)
 
+        obs = None
+        obs_dir = job.get("obs_dir")
+        if obs_dir:
+            # The flight recorder appends across attempts: pre-crash
+            # telemetry is evidence, and the new attempt marks itself
+            # with its own obs-meta record.
+            from repro.obs import ObsSession
+            obs = ObsSession(obs_dir, append=attempt > 1)
+            obs.note_attempt(attempt, resume_info)
+            obs.attach(driver)
+
         ckpt_at = [driver.sim.events_processed + ckpt_every]
 
         def on_progress():
@@ -187,6 +198,8 @@ def execute_job(state_dir: str, heartbeat_fd: Optional[int] = None) -> int:
         if _inject_due(inject, attempt, driver.sim.events_processed):
             _perform_injection(inject)
 
+        if obs is not None:
+            obs.finish()
         payload = _final_payload(driver, resume_info, bool(job.get("grade")))
         state.write_result(payload)
         heartbeat.pulse()

@@ -150,7 +150,8 @@ class Supervisor:
 
     # ------------------------------------------------------------------
     def run(self, spec: Dict, *, grade: bool = False,
-            inject: Optional[Dict] = None) -> SupervisedResult:
+            inject: Optional[Dict] = None,
+            obs_dir: Optional[str] = None) -> SupervisedResult:
         """Run ``spec`` to completion under supervision.
 
         ``inject`` seeds a deterministic fault for the selftest harness:
@@ -158,13 +159,18 @@ class Supervisor:
         Only the designated attempt injects, so the resumed retry runs
         clean — exactly the SIGKILL-anywhere scenario the journal exists
         for.
+
+        ``obs_dir`` attaches the observability flight recorder inside
+        the child: telemetry streams into ``<obs_dir>/obs.jrnl`` and —
+        like the run journal — survives SIGKILL; a resumed attempt
+        appends to it rather than truncating.
         """
         from repro.snapshot.digest import canonical_json
 
         seed = canonical_json(spec)
         attempts: List[AttemptReport] = []
         for attempt in range(1, self.max_attempts + 1):
-            report = self._attempt(spec, attempt, grade, inject)
+            report = self._attempt(spec, attempt, grade, inject, obs_dir)
             attempts.append(report)
             if report.classification == "ok":
                 result = self.state.read_result()
@@ -189,13 +195,15 @@ class Supervisor:
 
     # ------------------------------------------------------------------
     def _attempt(self, spec: Dict, attempt: int, grade: bool,
-                 inject: Optional[Dict]) -> AttemptReport:
+                 inject: Optional[Dict],
+                 obs_dir: Optional[str] = None) -> AttemptReport:
         self.state.clear_outcome()
         self.state.write_job({
             "spec": spec,
             "attempt": attempt,
             "grade": grade,
             "inject": inject,
+            "obs_dir": obs_dir,
             "heartbeat_every_events": self.heartbeat_every_events,
             "checkpoint_every_events": self.checkpoint_every_events,
         })

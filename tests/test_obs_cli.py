@@ -1,0 +1,105 @@
+"""Tests for ``python -m repro obs`` (summary / series / explain / diff)."""
+
+import os
+
+import pytest
+
+from repro.defense.run import DefenseRun
+from repro.obs import run_with_obs
+from repro.obs.cli import obs_main
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def obs_dirs(tmp_path_factory):
+    """Two byte-identical telemetry dirs plus one from a different seed."""
+    base = tmp_path_factory.mktemp("obs-cli")
+
+    def go(name, seed):
+        run = DefenseRun("runaway-cgi", adaptive=True, seed=seed,
+                         clients=6, cgi_attackers=4,
+                         warmup_s=0.3, measure_s=1.0)
+        out = str(base / name)
+        run_with_obs(run, out)
+        return out
+
+    return {"a": go("a", 1), "b": go("b", 1), "other": go("other", 2)}
+
+
+def test_summary(obs_dirs, capsys):
+    assert obs_main(["summary", "--obs-dir", obs_dirs["a"]]) == 0
+    out = capsys.readouterr().out
+    assert "complete" in out
+    assert "metrics digest" in out
+    assert "defense.scans" in out
+
+
+def test_summary_prefix_filter(obs_dirs, capsys):
+    assert obs_main(["summary", "--obs-dir", obs_dirs["a"],
+                     "--prefix", "kernel."]) == 0
+    out = capsys.readouterr().out
+    assert "kernel.kills" in out
+    assert "\n  defense." not in out
+
+
+def test_summary_missing_dir(tmp_path, capsys):
+    assert obs_main(["summary", "--obs-dir", str(tmp_path / "nope")]) == 2
+    assert "no telemetry" in capsys.readouterr().err
+
+
+def test_series(obs_dirs, capsys):
+    assert obs_main(["series", "defense.scans",
+                     "--obs-dir", obs_dirs["a"]]) == 0
+    lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+    assert len(lines) >= 2
+    assert all("s" in l for l in lines)
+
+
+def test_series_unknown_key_suggests(obs_dirs, capsys):
+    assert obs_main(["series", "scans", "--obs-dir", obs_dirs["a"]]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean" in err
+
+
+def test_explain_all_kills(obs_dirs, capsys):
+    assert obs_main(["explain", "--obs-dir", obs_dirs["a"]]) == 0
+    out = capsys.readouterr().out
+    assert "kill chain for" in out
+    assert "pathKill" in out
+
+
+def test_explain_specific_kill(obs_dirs, capsys):
+    # Find one killed path name from the unfiltered output first.
+    obs_main(["explain", "--obs-dir", obs_dirs["a"]])
+    out = capsys.readouterr().out
+    name = out.split("kill chain for ", 1)[1].split(" ", 1)[0]
+    assert obs_main(["explain", "--kill", name,
+                     "--obs-dir", obs_dirs["a"]]) == 0
+    out = capsys.readouterr().out
+    assert f"kill chain for {name}" in out
+
+
+def test_explain_no_match_lists_kills(obs_dirs, capsys):
+    assert obs_main(["explain", "--kill", "no-such-path",
+                     "--obs-dir", obs_dirs["a"]]) == 2
+    out = capsys.readouterr().out
+    assert "kills in this run" in out
+
+
+def test_diff_identical(obs_dirs, capsys):
+    assert obs_main(["diff", obs_dirs["a"], obs_dirs["b"]]) == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_diff_divergent(obs_dirs, capsys):
+    assert obs_main(["diff", obs_dirs["a"], obs_dirs["other"]]) == 1
+    assert "differ" in capsys.readouterr().out
+
+
+def test_alien_sidecar_is_a_clean_error(tmp_path, capsys):
+    os.makedirs(tmp_path / "bad", exist_ok=True)
+    with open(tmp_path / "bad" / "obs.jrnl", "w") as fh:
+        fh.write("garbage\n")
+    assert obs_main(["summary", "--obs-dir", str(tmp_path / "bad")]) == 2
+    assert "error" in capsys.readouterr().err

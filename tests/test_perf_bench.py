@@ -58,6 +58,10 @@ def test_quick_bench_emits_stable_schema(tmp_path):
     e2e = report["end_to_end"]
     assert e2e["events"] > 0 and e2e["wall_s"] > 0
     assert e2e["queue_health"]["events_processed"] == e2e["events"]
+    # The SYN-frame freelist stats ride along (the bench cell floods).
+    freelist = e2e["freelist"]
+    assert freelist["acquired"] > 0
+    assert freelist["recycled"] + freelist["released"] > 0
 
     # The human summary renders without a sweep section.
     assert "end-to-end" in format_report(report)
@@ -140,3 +144,19 @@ def test_bench_guard_skips_sections_this_run_did_not_measure(
                      path, capsys)
     assert rc == 0
     assert "skipped that section" in out.out
+
+
+@pytest.mark.obs
+@pytest.mark.bench
+def test_obs_overhead_bench_stays_within_budget():
+    """The obs session is cheap and perturbs nothing."""
+    from repro.perf.bench import bench_obs_overhead
+
+    result = bench_obs_overhead(clients=4, reps=2, quick=True)
+    assert result["digests_identical"] is True
+    assert result["baseline_events_per_sec"] > 0
+    assert result["obs_events_per_sec"] > 0
+    # ~1% in practice; the bound is loose because single-process CI
+    # timing is noisy — the strict 5% gate runs in the bench-gate job
+    # via `python -m repro bench --obs-overhead --obs-budget 0.05`.
+    assert 0.0 <= result["overhead_frac"] < 0.15

@@ -80,3 +80,65 @@ def test_instrumented_server_records_everything():
     assert all("cycles" in e.detail for e in kills)
     # And the server still works with the wrappers installed.
     assert bed.server.http.requests_served > 0
+
+def test_instrument_server_is_idempotent():
+    """Re-instrumenting must not stack wrappers (double-recording)."""
+    bed = Testbed.escort()
+    tracer = Tracer(bed.sim, capacity=50_000)
+    tracer.instrument_server(bed.server)
+    classify_once = bed.server.eth.demultiplexer.classify
+    kill_once = bed.server.kernel.kill_owner
+    tracer.instrument_server(bed.server)
+    assert bed.server.eth.demultiplexer.classify is classify_once
+    assert bed.server.kernel.kill_owner is kill_once
+
+    bed.add_clients(2, document="/doc-1")
+    bed.run(warmup_s=0.2, measure_s=0.5)
+    served = bed.server.http.requests_served
+    # One demux record per classification, not two.
+    assert tracer.counts.get("demux", 0) >= served
+    creates = tracer.counts.get("path-create", 0)
+    assert creates == len(tracer.events(kinds={"path-create"}))
+
+
+def test_capacity_one_ring():
+    tracer = Tracer(Simulator(), capacity=1)
+    tracer.record("a", "first")
+    assert tracer.dropped == 0
+    tracer.record("b", "second")
+    assert len(tracer) == 1
+    assert tracer.dropped == 1
+    assert tracer.events()[0].subject == "second"
+    # The per-kind totals still count everything ever recorded.
+    assert tracer.counts == {"a": 1, "b": 1}
+
+
+def test_kinds_filter_combines_with_subject_filter():
+    tracer = Tracer(Simulator())
+    tracer.record("kill", "conn-1")
+    tracer.record("kill", "pd-9")
+    tracer.record("demux", "conn-1")
+    hits = tracer.events(kinds={"kill"}, subject_contains="conn")
+    assert [(e.kind, e.subject) for e in hits] == [("kill", "conn-1")]
+    assert tracer.events(kinds={"kill", "demux"},
+                         subject_contains="conn-1")[0].tick == 0
+
+
+def test_span_log_forwarding():
+    """A tracer built with span_log= mirrors its records as spans."""
+    from repro.obs.spans import SpanLog
+
+    sim = Simulator()
+    log = SpanLog()
+    tracer = Tracer(sim, capacity=10, span_log=log)
+    tracer.record("demux", "conn-1", "3 modules")
+    sim.run(until=500)
+    tracer.record("kill", "conn-1", "18200 cycles")
+    assert len(log) == 2
+    spans = log.find("kill")
+    assert spans[0].subject == "conn-1" and spans[0].tick == 500
+    assert spans[0].parent is None
+    # Disabled tracer forwards nothing.
+    tracer.enabled = False
+    tracer.record("demux", "conn-2")
+    assert len(log) == 2
